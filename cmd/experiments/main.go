@@ -1,0 +1,198 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. Without flags it runs the full suite; -exp selects a
+// single experiment.
+//
+// Usage:
+//
+//	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare]
+//	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
+//	            [-seed N] [-csv DIR] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tlbmap/internal/harness"
+	"tlbmap/internal/npb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig9, hm-overhead, storage, compare)")
+		suite   = flag.String("suite", "npb", "workload suite: npb (the paper) or splash (extension)")
+		class   = flag.String("class", "W", "problem class: S (tiny) or W (evaluation scale)")
+		reps    = flag.Int("reps", 10, "repetitions per mapping for tables IV/V (paper: 100)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csvDir  = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		verbose = flag.Bool("v", false, "print progress")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Suite:       strings.ToLower(*suite),
+		Class:       npb.Class(strings.ToUpper(*class)),
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			cfg.Benchmarks = append(cfg.Benchmarks, strings.ToUpper(strings.TrimSpace(b)))
+		}
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	if err := run(cfg, strings.ToLower(*exp), *csvDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeCSV writes one CSV artifact into dir.
+func writeCSV(dir, name string, write func(w *os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func run(cfg harness.Config, exp string, csvDir string) error {
+	needPatterns := exp == "all" || exp == "fig4" || exp == "fig5"
+	needPerf := exp == "all" || exp == "table4" || exp == "table5" ||
+		strings.HasPrefix(exp, "fig6") || strings.HasPrefix(exp, "fig7") ||
+		strings.HasPrefix(exp, "fig8") || strings.HasPrefix(exp, "fig9")
+
+	switch exp {
+	case "table1":
+		fmt.Print(harness.Table1(cfg))
+		return nil
+	case "table2":
+		fmt.Print(harness.Table2(cfg))
+		return nil
+	case "table3":
+		rows, err := harness.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderTable3(rows))
+		return nil
+	case "hm-overhead":
+		rows, err := harness.RunHMOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderHMOverhead(rows))
+		return nil
+	case "storage":
+		rows, err := harness.RunStorageCost(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderStorageCost(rows))
+		return nil
+	case "compare":
+		rows, err := harness.Compare(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderCompare(rows))
+		return nil
+	}
+
+	var patterns []harness.PatternResult
+	var perf []harness.PerfResult
+	var err error
+	if needPatterns {
+		patterns, err = harness.DetectPatterns(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if needPerf {
+		perf, err = harness.RunPerformance(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	emit := func(title, body string) {
+		fmt.Println("==== " + title + " ====")
+		fmt.Println(body)
+	}
+
+	// Machine-readable artifacts for whatever was computed.
+	if csvDir != "" && len(perf) > 0 {
+		if err := writeCSV(csvDir, "performance.csv", func(f *os.File) error {
+			return harness.WritePerformanceCSV(f, perf)
+		}); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" && len(patterns) > 0 {
+		if err := writeCSV(csvDir, "patterns.csv", func(f *os.File) error {
+			return harness.WritePatternsCSV(f, patterns)
+		}); err != nil {
+			return err
+		}
+	}
+
+	switch exp {
+	case "fig4":
+		emit("Figure 4: communication patterns detected by SM", harness.RenderPatterns(patterns, "SM"))
+	case "fig5":
+		emit("Figure 5: communication patterns detected by HM", harness.RenderPatterns(patterns, "HM"))
+	case "fig6", "fig7", "fig8", "fig9":
+		metric := map[string]string{"fig6": "time", "fig7": "inv", "fig8": "snoop", "fig9": "l2miss"}[exp]
+		fmt.Print(harness.RenderFigure(perf, metric))
+	case "table4":
+		fmt.Print(harness.RenderTable4(perf))
+	case "table5":
+		fmt.Print(harness.RenderTable5(perf))
+	case "all":
+		emit("Table I", harness.Table1(cfg))
+		emit("Table II", harness.Table2(cfg))
+		emit("Figure 4: communication patterns detected by SM", harness.RenderPatterns(patterns, "SM"))
+		emit("Figure 5: communication patterns detected by HM", harness.RenderPatterns(patterns, "HM"))
+		emit("Oracle (full-trace) reference patterns", harness.RenderPatterns(patterns, "oracle"))
+		for _, metric := range []string{"time", "inv", "snoop", "l2miss"} {
+			fmt.Println(harness.RenderFigure(perf, metric))
+		}
+		rows3, err := harness.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		emit("Table III", harness.RenderTable3(rows3))
+		rowsHM, err := harness.RunHMOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		emit("HM overhead", harness.RenderHMOverhead(rowsHM))
+		storage, err := harness.RunStorageCost(cfg)
+		if err != nil {
+			return err
+		}
+		emit("Storage cost (Section II motivation)", harness.RenderStorageCost(storage))
+		emit("Table IV", harness.RenderTable4(perf))
+		emit("Table V", harness.RenderTable5(perf))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command tlbmap runs the full pipeline of the paper for one benchmark:
+// detect the communication pattern with a TLB-based mechanism, build the
+// hierarchical Edmonds mapping, and evaluate the mapping against the OS
+// scheduler baseline.
+//
+// Usage:
+//
+//	tlbmap -bench SP [-suite npb|splash] [-mech SM|HM|oracle] [-class S|W]
+//	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tlbmap/internal/core"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/splash"
+	"tlbmap/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tlbmap: ")
+	var (
+		bench    = flag.String("bench", "SP", "benchmark to run (npb: BT CG EP FT IS LU MG SP UA; splash: BARNES LUC OCEAN RADIX WATER)")
+		suite    = flag.String("suite", "npb", "benchmark suite: npb or splash")
+		mech     = flag.String("mech", "SM", "detection mechanism: SM, HM, oracle, oracle-line")
+		class    = flag.String("class", "W", "problem class: S or W")
+		topo     = flag.String("topology", "harpertown", "machine: harpertown, numa2, numa4")
+		sample   = flag.Uint64("sample", 0, "SM sampling period n (0 = default)")
+		interval = flag.Uint64("interval", 0, "HM scan interval in cycles (0 = default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var machine *topology.Machine
+	switch strings.ToLower(*topo) {
+	case "harpertown":
+		machine = topology.Harpertown()
+	case "numa2":
+		machine = topology.NUMA(2)
+	case "numa4":
+		machine = topology.NUMA(4)
+	default:
+		log.Fatalf("unknown topology %q", *topo)
+	}
+
+	var (
+		w     core.Workload
+		name  string
+		descr string
+		err   error
+	)
+	switch strings.ToLower(*suite) {
+	case "npb":
+		b, e := npb.Get(strings.ToUpper(*bench))
+		if e != nil {
+			log.Fatal(e)
+		}
+		name, descr = b.Name, b.Description
+		w = core.FromNPB(b, npb.Params{
+			Threads: machine.NumCores(),
+			Class:   npb.Class(strings.ToUpper(*class)),
+			Seed:    *seed,
+		})
+	case "splash":
+		b, e := splash.Get(strings.ToUpper(*bench))
+		if e != nil {
+			log.Fatal(e)
+		}
+		name, descr = b.Name, b.Description
+		w = core.FromSplash(b, splash.Params{
+			Threads: machine.NumCores(),
+			Class:   splash.Class(strings.ToUpper(*class)),
+			Seed:    *seed,
+		})
+	default:
+		log.Fatalf("unknown suite %q", *suite)
+	}
+	_ = err
+	opt := core.Options{Machine: machine, SampleEvery: *sample, ScanInterval: *interval}
+
+	fmt.Printf("== %s (%s): detecting communication pattern with %s ==\n", name, descr, *mech)
+	det, err := core.Detect(w, core.Mechanism(*mech), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accesses: %d, cycles: %d, TLB miss rate: %.4f%%, detection overhead: %.4f%%\n",
+		det.Result.Accesses, det.Result.Cycles, det.Result.TLBMissRate*100, det.Result.DetectionOverhead*100)
+	fmt.Println("communication matrix:")
+	fmt.Println(det.Matrix.Heatmap())
+
+	place, err := core.BuildMapping(det.Matrix, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thread -> core mapping: %v\n", place)
+	fmt.Printf("mapping cost: %d (vs identity %d)\n\n",
+		mapping.Cost(det.Matrix, machine, place),
+		mapping.Cost(det.Matrix, machine, identity(det.Matrix.N())))
+
+	fmt.Println("== evaluating mapping vs OS scheduler baseline ==")
+	mapped, err := core.Evaluate(w, place, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	osSched := mapping.NewOSScheduler(*seed + 42)
+	osPlace, err := osSched.Map(det.Matrix, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	osRes, err := core.Evaluate(w, osPlace, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := func(a, b uint64) float64 {
+		if b == 0 {
+			return 1
+		}
+		return float64(a) / float64(b)
+	}
+	fmt.Printf("%-22s %14s %14s %10s\n", "metric", "mapped", "OS", "ratio")
+	rows := []struct {
+		name string
+		m, o uint64
+	}{
+		{"execution cycles", mapped.Cycles, osRes.Cycles},
+		{"invalidations", mapped.Counters.Get(metrics.Invalidations), osRes.Counters.Get(metrics.Invalidations)},
+		{"snoop transactions", mapped.Counters.Get(metrics.SnoopTransactions), osRes.Counters.Get(metrics.SnoopTransactions)},
+		{"L2 misses", mapped.Counters.Get(metrics.L2Misses), osRes.Counters.Get(metrics.L2Misses)},
+		{"inter-chip traffic", mapped.Counters.Get(metrics.InterChipTraffic), osRes.Counters.Get(metrics.InterChipTraffic)},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s %14d %14d %10.3f\n", r.name, r.m, r.o, rel(r.m, r.o))
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

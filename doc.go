@@ -1,0 +1,19 @@
+// Package tlbmap reproduces "Using the Translation Lookaside Buffer to Map
+// Threads in Parallel Applications Based on Shared Memory" (Cruz, Diener,
+// Navaux — IPDPS 2012) as a Go library.
+//
+// The root package only anchors the repository-level benchmarks
+// (bench_test.go), which regenerate every table and figure of the paper's
+// evaluation; the implementation lives under internal/:
+//
+//   - internal/core — the public pipeline façade (detect, map, evaluate)
+//   - internal/comm — communication matrices and the SM/HM/oracle detectors
+//   - internal/sim, internal/mem, internal/tlb, internal/vm — the simulator
+//   - internal/matching, internal/mapping — Edmonds matching and the
+//     hierarchical mapper
+//   - internal/npb — the NAS-Parallel-Benchmarks-like workload suite
+//   - internal/harness — experiment drivers and table/figure renderers
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured comparison.
+package tlbmap

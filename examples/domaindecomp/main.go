@@ -1,0 +1,73 @@
+// Domaindecomp: why domain-decomposed applications benefit from
+// communication-aware mapping while homogeneous ones do not (the central
+// observation of the paper's evaluation).
+//
+// The example runs two contrasting workloads — the domain-decomposed SP
+// kernel and the homogeneous FT kernel — under three placements (the
+// Edmonds mapping, the identity, and the worst case where every
+// neighbouring thread pair is split across chips) and prints the resulting
+// coherence traffic side by side.
+//
+// Run with: go run ./examples/domaindecomp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlbmap/internal/core"
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine := topology.Harpertown()
+
+	for _, name := range []string{"SP", "FT"} {
+		bench, err := npb.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := core.FromNPB(bench, npb.Params{Class: npb.ClassW})
+
+		det, err := core.Detect(w, core.SM, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mapped, err := core.BuildMapping(det.Matrix, machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s (expected: %s) ===\n", bench.Name, bench.Expected)
+		fmt.Println(det.Matrix.Heatmap())
+		fmt.Printf("neighbour fraction of detected communication: %.2f\n\n", det.Matrix.NeighborFraction())
+
+		placements := []struct {
+			label string
+			p     []int
+		}{
+			{"edmonds mapping", mapped},
+			{"identity", []int{0, 1, 2, 3, 4, 5, 6, 7}},
+			// Interleave threads across chips: every neighbouring pair is
+			// split by the front-side bus.
+			{"cross-chip worst", []int{0, 4, 1, 5, 2, 6, 3, 7}},
+		}
+		fmt.Printf("%-18s %12s %14s %14s %12s\n", "placement", "cycles", "invalidations", "snoops", "inter-chip")
+		for _, pl := range placements {
+			res, err := core.Evaluate(w, pl.p, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %12d %14d %14d %12d\n", pl.label, res.Cycles,
+				res.Counters.Get(metrics.Invalidations),
+				res.Counters.Get(metrics.SnoopTransactions),
+				res.Counters.Get(metrics.InterChipTraffic))
+		}
+		fmt.Println()
+	}
+	fmt.Println("SP's traffic varies strongly with placement; FT's barely moves —")
+	fmt.Println("exactly the heterogeneous/homogeneous split of the paper's Figures 6-9.")
+}

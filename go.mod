@@ -1,0 +1,3 @@
+module tlbmap
+
+go 1.22

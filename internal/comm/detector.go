@@ -1,0 +1,368 @@
+package comm
+
+import (
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/vm"
+)
+
+// Paper-measured cycle costs of the detection routines (Section VI-C).
+const (
+	// SMSearchCycles is the cost of one SM communication search: probing
+	// the missing page's set in every other core's TLB mirror.
+	SMSearchCycles = 231
+	// HMScanCycles is the cost of one HM scan: comparing all pairs of
+	// TLBs set-by-set.
+	HMScanCycles = 84297
+)
+
+// TLBView gives a detector read access to every core's TLB (the OS-visible
+// mirrors of Section IV-A, or the new TLB-read instruction of Section IV-B).
+// Index k is the TLB of core k. During a detection run threads are pinned
+// one-to-one to cores, so core indices are thread indices.
+type TLBView []*tlb.TLB
+
+// Detector observes the simulated execution and accumulates a communication
+// matrix. The engine invokes the hooks; a detector implements the ones it
+// needs and leaves the rest as cheap no-ops returning 0 extra cycles.
+type Detector interface {
+	// Name identifies the detector ("SM", "HM", "oracle").
+	Name() string
+	// OnAccess is called for every committed data access with the
+	// accessing thread and the full virtual address (oracle path).
+	OnAccess(thread int, addr vm.Addr)
+	// OnTLBMiss is called when a thread's TLB misses, before the refill.
+	// It returns the extra cycles charged to the missing core (the SM
+	// detection path of Figure 1a).
+	OnTLBMiss(thread int, page vm.Page, tlbs TLBView) uint64
+	// MaybeScan is called periodically with the current global cycle
+	// count. It returns the extra cycles charged to every core if a scan
+	// ran (the HM path of Figure 1b).
+	MaybeScan(now uint64, tlbs TLBView) uint64
+	// Matrix returns the communication matrix accumulated so far.
+	Matrix() *Matrix
+	// Searches returns how many times the detection routine ran.
+	Searches() uint64
+}
+
+// NullDetector detects nothing; it is the detector used for plain
+// performance runs (Figures 6-9) where detection is switched off.
+type NullDetector struct{}
+
+// Name implements Detector.
+func (NullDetector) Name() string { return "none" }
+
+// OnAccess implements Detector.
+func (NullDetector) OnAccess(int, vm.Addr) {}
+
+// OnTLBMiss implements Detector.
+func (NullDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
+
+// MaybeScan implements Detector.
+func (NullDetector) MaybeScan(uint64, TLBView) uint64 { return 0 }
+
+// Matrix implements Detector.
+func (NullDetector) Matrix() *Matrix { return nil }
+
+// Searches implements Detector.
+func (NullDetector) Searches() uint64 { return 0 }
+
+// SMDetector implements the software-managed TLB mechanism of Figure 1a:
+// every TLB miss traps to the OS; on every SampleEvery-th miss of a core,
+// the missing page is searched in all other cores' TLB mirrors and each
+// match increments the communication matrix.
+//
+// With a set-associative TLB only the page's set is probed in each remote
+// TLB, so the search is Θ(P) (Table I).
+type SMDetector struct {
+	matrix *Matrix
+	// SampleEvery is the paper's n: a search runs on every n-th miss.
+	// n = 100 reproduces the 1% sampling of Section VI-A; n = 1 monitors
+	// every miss.
+	sampleEvery uint64
+	counters    []uint64 // per-core miss counters (the flowchart counter)
+	searches    uint64
+	sampled     uint64 // misses for which a search ran
+	missTotal   uint64
+}
+
+// NewSMDetector builds an SM detector for n threads sampling every
+// sampleEvery-th TLB miss (the paper uses 100).
+func NewSMDetector(n int, sampleEvery uint64) *SMDetector {
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	return &SMDetector{
+		matrix:      NewMatrix(n),
+		sampleEvery: sampleEvery,
+		counters:    make([]uint64, n),
+	}
+}
+
+// Name implements Detector.
+func (d *SMDetector) Name() string { return "SM" }
+
+// OnAccess implements Detector (no per-access work for SM).
+func (d *SMDetector) OnAccess(int, vm.Addr) {}
+
+// OnTLBMiss implements the Figure 1a flowchart: compare the per-core
+// counter against the threshold; below it, just increment and return.
+// Otherwise reset the counter and search all other TLBs for the missing
+// page, incrementing the matrix per match.
+func (d *SMDetector) OnTLBMiss(thread int, page vm.Page, tlbs TLBView) uint64 {
+	d.missTotal++
+	d.counters[thread]++
+	if d.counters[thread] < d.sampleEvery {
+		return 0
+	}
+	d.counters[thread] = 0
+	d.searches++
+	d.sampled++
+	for other := range tlbs {
+		if other == thread {
+			continue
+		}
+		if tlbs[other].Contains(page) {
+			d.matrix.Inc(thread, other)
+		}
+	}
+	return SMSearchCycles
+}
+
+// MaybeScan implements Detector (SM never scans periodically).
+func (d *SMDetector) MaybeScan(uint64, TLBView) uint64 { return 0 }
+
+// Matrix implements Detector.
+func (d *SMDetector) Matrix() *Matrix { return d.matrix }
+
+// Searches implements Detector.
+func (d *SMDetector) Searches() uint64 { return d.searches }
+
+// SampledFraction returns the fraction of TLB misses for which a search ran
+// (the "TLB Misses for which we run SM" column of Table III).
+func (d *SMDetector) SampledFraction() float64 {
+	if d.missTotal == 0 {
+		return 0
+	}
+	return float64(d.sampled) / float64(d.missTotal)
+}
+
+// HMDetector implements the hardware-managed TLB mechanism of Figure 1b:
+// every Interval cycles the OS reads every TLB (via the proposed
+// TLB-read instruction) and compares all pairs set-by-set, incrementing the
+// communication matrix for each matching entry.
+//
+// The pairwise set-by-set comparison is Θ(P²·S) (Table I).
+type HMDetector struct {
+	matrix   *Matrix
+	interval uint64
+	lastScan uint64
+	searches uint64
+	started  bool
+}
+
+// NewHMDetector builds an HM detector for n threads scanning every interval
+// cycles (the paper uses 10,000,000 on runs lasting billions of cycles; use
+// a proportionally smaller interval for shorter simulated runs).
+func NewHMDetector(n int, interval uint64) *HMDetector {
+	if interval == 0 {
+		interval = 1
+	}
+	return &HMDetector{matrix: NewMatrix(n), interval: interval}
+}
+
+// Name implements Detector.
+func (d *HMDetector) Name() string { return "HM" }
+
+// OnAccess implements Detector (no per-access work for HM).
+func (d *HMDetector) OnAccess(int, vm.Addr) {}
+
+// OnTLBMiss implements Detector (HM cannot observe TLB misses).
+func (d *HMDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
+
+// MaybeScan implements the Figure 1b flowchart: if fewer than Interval
+// cycles passed since the last scan, return; otherwise record the scan time
+// and compare all pairs of TLBs for matches.
+func (d *HMDetector) MaybeScan(now uint64, tlbs TLBView) uint64 {
+	if d.started && now-d.lastScan < d.interval {
+		return 0
+	}
+	if !d.started {
+		// Skip the scan at cycle zero: TLBs are still empty.
+		d.started = true
+		d.lastScan = now
+		return 0
+	}
+	d.lastScan = now
+	d.searches++
+	if len(tlbs) == 0 {
+		return HMScanCycles
+	}
+	sets := tlbs[0].Config().Sets()
+	for i := 0; i < len(tlbs); i++ {
+		for j := i + 1; j < len(tlbs); j++ {
+			for s := 0; s < sets; s++ {
+				if n := tlb.MatchesInSet(tlbs[i], tlbs[j], s); n > 0 {
+					d.matrix.Add(i, j, uint64(n))
+				}
+			}
+		}
+	}
+	return HMScanCycles
+}
+
+// Matrix implements Detector.
+func (d *HMDetector) Matrix() *Matrix { return d.matrix }
+
+// Searches implements Detector.
+func (d *HMDetector) Searches() uint64 { return d.searches }
+
+// Granularity selects the sharing granularity of the oracle detector.
+type Granularity int
+
+const (
+	// PageGranularity matches the TLB mechanisms (4 KiB pages).
+	PageGranularity Granularity = iota
+	// LineGranularity tracks 64-byte cache lines; comparing it against
+	// PageGranularity quantifies page-level false sharing (Section III-B5).
+	LineGranularity
+)
+
+// OracleDetector is the full-memory-trace reference detector, equivalent to
+// the Simics-instrumentation approach of the related work (Section II,
+// [7][10][11]): every access is recorded, and an access by thread t to data
+// recently touched by other threads counts as communication between t and
+// each of them.
+//
+// Two details guard the reference against the false-communication problem
+// of Section III-B5 ("threads appear to communicate ... at different times
+// during the execution"):
+//
+//   - Keeping the last few distinct accessors (rather than only the very
+//     last one) avoids biasing interleaved all-to-all exchanges toward
+//     whichever thread happened to touch the block most recently.
+//   - Each remembered accessor expires after historyWindow further accesses
+//     to the block, so a thread that stopped touching the data long ago is
+//     not counted as a communication partner forever (the TLB mechanisms
+//     get the same property for free from entry eviction).
+//
+// The oracle is far too expensive for production use — that is the paper's
+// point — but it defines the ground-truth pattern the TLB mechanisms are
+// scored against.
+type OracleDetector struct {
+	matrix      *Matrix
+	granularity Granularity
+	last        map[uint64]accessorHistory
+	accesses    uint64
+}
+
+// historyDepth is the number of distinct recent accessors remembered per
+// block (the window used by the memory-trace analyses of the related work).
+const historyDepth = 3
+
+// historyWindow is the aging bound: an accessor not seen within this many
+// subsequent accesses to the block no longer counts as a partner.
+const historyWindow = 16
+
+// accessorEntry is one remembered accessor with its last-seen stamp.
+type accessorEntry struct {
+	thread int32 // -1 marks an empty slot
+	seen   uint32
+}
+
+// accessorHistory is a tiny most-recent-first list of distinct accessors
+// plus the block's access counter.
+type accessorHistory struct {
+	counter uint32
+	entries [historyDepth]accessorEntry
+}
+
+func emptyHistory() accessorHistory {
+	var h accessorHistory
+	for i := range h.entries {
+		h.entries[i].thread = -1
+	}
+	return h
+}
+
+// fresh reports whether an entry is populated and within the aging window.
+func (h *accessorHistory) fresh(i int) bool {
+	e := h.entries[i]
+	return e.thread >= 0 && h.counter-e.seen <= historyWindow
+}
+
+// push records thread t as the most recent accessor at the current counter,
+// deduplicating and dropping expired entries.
+func (h accessorHistory) push(t int32) accessorHistory {
+	out := emptyHistory()
+	out.counter = h.counter
+	out.entries[0] = accessorEntry{thread: t, seen: h.counter}
+	k := 1
+	for i := range h.entries {
+		e := h.entries[i]
+		if e.thread >= 0 && e.thread != t && h.counter-e.seen <= historyWindow && k < historyDepth {
+			out.entries[k] = e
+			k++
+		}
+	}
+	return out
+}
+
+// NewOracleDetector builds an oracle detector for n threads at the given
+// granularity.
+func NewOracleDetector(n int, g Granularity) *OracleDetector {
+	return &OracleDetector{
+		matrix:      NewMatrix(n),
+		granularity: g,
+		last:        make(map[uint64]accessorHistory),
+	}
+}
+
+// Name implements Detector.
+func (d *OracleDetector) Name() string { return "oracle" }
+
+// OnAccess records the access and counts communication when the block
+// (page or 64-byte line, per the configured granularity) was last touched
+// by a different thread.
+func (d *OracleDetector) OnAccess(thread int, addr vm.Addr) {
+	d.accesses++
+	var block uint64
+	if d.granularity == PageGranularity {
+		block = uint64(addr.Page())
+	} else {
+		block = uint64(addr) >> 6 // 64-byte lines
+	}
+	h, ok := d.last[block]
+	if !ok {
+		h = emptyHistory()
+	}
+	h.counter++
+	t := int32(thread)
+	if h.entries[0].thread == t {
+		// Consecutive accesses by the same thread are not communication;
+		// just refresh the stamp (the common fast path).
+		h.entries[0].seen = h.counter
+		d.last[block] = h
+		return
+	}
+	for i := range h.entries {
+		if h.fresh(i) && h.entries[i].thread != t {
+			d.matrix.Inc(thread, int(h.entries[i].thread))
+		}
+	}
+	d.last[block] = h.push(t)
+}
+
+// Granularity returns the detector's sharing granularity.
+func (d *OracleDetector) Granularity() Granularity { return d.granularity }
+
+// OnTLBMiss implements Detector (the oracle does not use the TLB).
+func (d *OracleDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
+
+// MaybeScan implements Detector.
+func (d *OracleDetector) MaybeScan(uint64, TLBView) uint64 { return 0 }
+
+// Matrix implements Detector.
+func (d *OracleDetector) Matrix() *Matrix { return d.matrix }
+
+// Searches implements Detector: the oracle "searches" on every access.
+func (d *OracleDetector) Searches() uint64 { return d.accesses }

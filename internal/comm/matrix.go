@@ -1,0 +1,221 @@
+// Package comm implements communication-pattern detection: the
+// communication matrix (Section III-C) and the three detectors evaluated in
+// the paper — the software-managed TLB mechanism (SM, Figure 1a), the
+// hardware-managed TLB mechanism (HM, Figure 1b), and a full-memory-trace
+// oracle in the style of the simulation-based related work (Section II),
+// used as the accuracy reference.
+package comm
+
+import (
+	"fmt"
+	"strings"
+
+	"tlbmap/internal/stats"
+)
+
+// Matrix is a symmetric N x N communication matrix: cell (i, j) accumulates
+// the amount of communication detected between threads i and j. The
+// diagonal is unused (a thread does not communicate with itself).
+type Matrix struct {
+	n     int
+	cells []uint64 // row-major n*n; kept symmetric
+}
+
+// NewMatrix returns an all-zero matrix for n threads.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: invalid thread count %d", n))
+	}
+	return &Matrix{n: n, cells: make([]uint64, n*n)}
+}
+
+// N returns the number of threads.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the communication between threads i and j.
+func (m *Matrix) At(i, j int) uint64 { return m.cells[i*m.n+j] }
+
+// Add accumulates w units of communication between threads i and j,
+// keeping the matrix symmetric. Adding to the diagonal is a no-op.
+func (m *Matrix) Add(i, j int, w uint64) {
+	if i == j {
+		return
+	}
+	m.cells[i*m.n+j] += w
+	m.cells[j*m.n+i] += w
+}
+
+// Inc accumulates one unit of communication between threads i and j.
+func (m *Matrix) Inc(i, j int) { m.Add(i, j, 1) }
+
+// Total returns the sum over the upper triangle (each pair counted once).
+func (m *Matrix) Total() uint64 {
+	var t uint64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			t += m.At(i, j)
+		}
+	}
+	return t
+}
+
+// Max returns the largest cell value.
+func (m *Matrix) Max() uint64 {
+	var mx uint64
+	for _, c := range m.cells {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.n)
+	copy(out.cells, m.cells)
+	return out
+}
+
+// Sub returns m - base cell-wise (saturating at zero). With a cumulative
+// detector matrix, Sub against the previous snapshot yields the epoch
+// delta. It returns nil when the sizes differ.
+func (m *Matrix) Sub(base *Matrix) *Matrix {
+	if base == nil {
+		return m.Clone()
+	}
+	if base.n != m.n {
+		return nil
+	}
+	out := NewMatrix(m.n)
+	for i := range m.cells {
+		if m.cells[i] > base.cells[i] {
+			out.cells[i] = m.cells[i] - base.cells[i]
+		}
+	}
+	return out
+}
+
+// Reset zeroes every cell.
+func (m *Matrix) Reset() {
+	for i := range m.cells {
+		m.cells[i] = 0
+	}
+}
+
+// Flatten returns the upper triangle (i < j) as float64s in row order,
+// the vector form used for similarity scoring.
+func (m *Matrix) Flatten() []float64 {
+	out := make([]float64, 0, m.n*(m.n-1)/2)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			out = append(out, float64(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Similarity returns the Pearson correlation between the upper triangles of
+// two matrices — the accuracy score used to compare a detected pattern
+// against the oracle (how well Figures 4/5 match the true pattern). Returns
+// 0 when the sizes differ.
+func (m *Matrix) Similarity(other *Matrix) float64 {
+	if other == nil || other.n != m.n {
+		return 0
+	}
+	return stats.PearsonCorrelation(m.Flatten(), other.Flatten())
+}
+
+// Normalized returns the matrix scaled so its largest cell is 1.0.
+func (m *Matrix) Normalized() [][]float64 {
+	mx := m.Max()
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = make([]float64, m.n)
+		if mx == 0 {
+			continue
+		}
+		for j := range out[i] {
+			out[i][j] = float64(m.At(i, j)) / float64(mx)
+		}
+	}
+	return out
+}
+
+// shade maps a normalized intensity to an ASCII glyph ramp, darkest last —
+// the textual equivalent of the grey-scale cells of Figures 4 and 5.
+var shades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// Heatmap renders the matrix as an ASCII heat map in the style of
+// Figures 4/5: darker cells mean more communication, normalized to the
+// matrix maximum.
+func (m *Matrix) Heatmap() string {
+	norm := m.Normalized()
+	var b strings.Builder
+	b.WriteString("    ")
+	for j := 0; j < m.n; j++ {
+		fmt.Fprintf(&b, "%2d ", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < m.n; i++ {
+		fmt.Fprintf(&b, "%2d  ", i)
+		for j := 0; j < m.n; j++ {
+			var g rune
+			if i == j {
+				g = '·'
+			} else {
+				idx := int(norm[i][j] * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+				g = shades[idx]
+			}
+			fmt.Fprintf(&b, " %c ", g)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the raw counts.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NeighborFraction returns the fraction of total communication that occurs
+// between adjacent thread IDs (|i-j| == 1). Domain-decomposition workloads
+// (BT, IS, LU, MG, SP, UA in the paper) concentrate communication on
+// neighbors; homogeneous workloads (CG, EP, FT) do not. The harness uses
+// this to verify pattern shapes.
+func (m *Matrix) NeighborFraction() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	var nb uint64
+	for i := 0; i+1 < m.n; i++ {
+		nb += m.At(i, i+1)
+	}
+	return float64(nb) / float64(total)
+}
+
+// Heterogeneity returns the relative standard deviation of the upper
+// triangle: 0 for a perfectly homogeneous pattern (CG/EP/FT-like), large
+// for sharply structured patterns. Used to classify detected patterns.
+func (m *Matrix) Heterogeneity() float64 {
+	var s stats.Sample
+	for _, v := range m.Flatten() {
+		s.Add(v)
+	}
+	return s.RelStdDev() / 100
+}

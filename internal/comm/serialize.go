@@ -1,0 +1,114 @@
+package comm
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// matrixJSON is the stable on-disk form of a communication matrix.
+type matrixJSON struct {
+	N     int        `json:"n"`
+	Cells [][]uint64 `json:"cells"`
+}
+
+// MarshalJSON encodes the matrix as {"n": N, "cells": [[...], ...]}.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	out := matrixJSON{N: m.n, Cells: make([][]uint64, m.n)}
+	for i := 0; i < m.n; i++ {
+		out.Cells[i] = make([]uint64, m.n)
+		for j := 0; j < m.n; j++ {
+			out.Cells[i][j] = m.At(i, j)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a matrix previously produced by MarshalJSON,
+// validating shape and symmetry.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var in matrixJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.N <= 0 || len(in.Cells) != in.N {
+		return fmt.Errorf("comm: malformed matrix: n=%d with %d rows", in.N, len(in.Cells))
+	}
+	fresh := NewMatrix(in.N)
+	for i, row := range in.Cells {
+		if len(row) != in.N {
+			return fmt.Errorf("comm: row %d has %d cells, want %d", i, len(row), in.N)
+		}
+		for j, v := range row {
+			if in.Cells[j][i] != v {
+				return fmt.Errorf("comm: asymmetric cells (%d,%d)", i, j)
+			}
+			if i != j && v != 0 {
+				fresh.cells[i*in.N+j] = v
+			}
+			if i == j && v != 0 {
+				return fmt.Errorf("comm: non-zero diagonal at %d", i)
+			}
+		}
+	}
+	*m = *fresh
+	return nil
+}
+
+// WriteCSV writes the matrix as N rows of N comma-separated counts.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			row[j] = strconv.FormatUint(m.At(i, j), 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a matrix written by WriteCSV, validating shape, symmetry
+// and an all-zero diagonal.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("comm: reading csv: %w", err)
+	}
+	n := len(records)
+	if n == 0 {
+		return nil, fmt.Errorf("comm: empty csv")
+	}
+	m := NewMatrix(n)
+	for i, row := range records {
+		if len(row) != n {
+			return nil, fmt.Errorf("comm: row %d has %d fields, want %d", i, len(row), n)
+		}
+		for j, field := range row {
+			v, err := strconv.ParseUint(field, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("comm: cell (%d,%d): %w", i, j, err)
+			}
+			if i == j {
+				if v != 0 {
+					return nil, fmt.Errorf("comm: non-zero diagonal at %d", i)
+				}
+				continue
+			}
+			m.cells[i*n+j] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return nil, fmt.Errorf("comm: asymmetric cells (%d,%d)", i, j)
+			}
+		}
+	}
+	return m, nil
+}

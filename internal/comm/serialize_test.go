@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleMatrix() *Matrix {
+	m := NewMatrix(4)
+	m.Add(0, 1, 10)
+	m.Add(1, 2, 5)
+	m.Add(0, 3, 7)
+	return m
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := sampleMatrix()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.Similarity(m) < 0.9999 || back.Total() != m.Total() {
+		t.Errorf("roundtrip mismatch:\n%s\nvs\n%s", m, &back)
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"n":0,"cells":[]}`,
+		`{"n":2,"cells":[[0,1]]}`,       // missing row
+		`{"n":2,"cells":[[0,1],[1]]}`,   // ragged
+		`{"n":2,"cells":[[0,1],[2,0]]}`, // asymmetric
+		`{"n":2,"cells":[[5,1],[1,0]]}`, // diagonal
+		`not json`,
+	}
+	for _, c := range cases {
+		var m Matrix
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := sampleMatrix()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if back.At(i, j) != m.At(i, j) {
+				t.Fatalf("cell (%d,%d): %d vs %d", i, j, back.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"ragged":      "0,1\n1\n",
+		"non-numeric": "0,x\nx,0\n",
+		"asymmetric":  "0,1\n2,0\n",
+		"diagonal":    "5,1\n1,0\n",
+		"non-square":  "0,1,2\n1,0,3\n",
+	}
+	for name, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

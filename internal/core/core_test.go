@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"tlbmap/internal/npb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// tinyWorkload builds a small fully-controlled workload: threads 2k and
+// 2k+1 share one buffer each (a perfectly pairable pattern).
+func tinyWorkload(as *vm.AddressSpace) []trace.Program {
+	buffers := make([]*trace.F64, 4)
+	for i := range buffers {
+		buffers[i] = trace.NewF64(as, 2048)
+	}
+	programs := make([]trace.Program, 8)
+	for i := range programs {
+		programs[i] = func(t *trace.Thread) {
+			buf := buffers[t.ID()/2]
+			for it := 0; it < 30; it++ {
+				for k := 0; k < 256; k++ {
+					buf.Add(t, (t.ID()*128+k)%buf.Len(), 1)
+				}
+				t.Barrier()
+			}
+		}
+	}
+	return programs
+}
+
+func spS() Workload {
+	b, _ := npb.Get("SP")
+	return FromNPB(b, npb.Params{Class: npb.ClassS})
+}
+
+func TestDetectMechanisms(t *testing.T) {
+	for _, mech := range []Mechanism{SM, HM, Oracle, OracleLine} {
+		det, err := Detect(tinyWorkload, mech, Options{ScanInterval: 5000, SampleEvery: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if det.Mechanism != mech {
+			t.Errorf("mechanism echo = %s", det.Mechanism)
+		}
+		if det.Matrix == nil || det.Matrix.N() != 8 {
+			t.Fatalf("%s: bad matrix", mech)
+		}
+		if det.Result == nil || det.Result.Accesses == 0 {
+			t.Errorf("%s: no run result", mech)
+		}
+		if mech == SM && det.SampledFraction == 0 {
+			t.Error("SM sampled fraction missing")
+		}
+	}
+}
+
+func TestDetectUnknownMechanism(t *testing.T) {
+	if _, err := Detect(tinyWorkload, Mechanism("bogus"), Options{}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestDetectAllSharesOneRun(t *testing.T) {
+	sm, hm, oracle, err := DetectAll(tinyWorkload, Options{ScanInterval: 5000, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Result != hm.Result || hm.Result != oracle.Result {
+		t.Error("DetectAll should share one simulation result")
+	}
+	if sm.Matrix == hm.Matrix || sm.Matrix == oracle.Matrix {
+		t.Error("detections share a matrix")
+	}
+	// The oracle must see the pair structure.
+	if oracle.Matrix.At(0, 1) == 0 || oracle.Matrix.At(6, 7) == 0 {
+		t.Errorf("oracle missed pair sharing:\n%s", oracle.Matrix.String())
+	}
+	// Pairs dominate non-pairs.
+	if oracle.Matrix.At(0, 1) <= oracle.Matrix.At(0, 7)*2 {
+		t.Errorf("pair (0,1)=%d not dominant over (0,7)=%d",
+			oracle.Matrix.At(0, 1), oracle.Matrix.At(0, 7))
+	}
+}
+
+func TestBuildMappingPairsSharers(t *testing.T) {
+	machine := topology.Harpertown()
+	_, _, oracle, err := DetectAll(tinyWorkload, Options{SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := BuildMapping(oracle.Matrix, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if !machine.SameL2(place[2*k], place[2*k+1]) {
+			t.Errorf("pair (%d,%d) not on a shared L2: cores %d,%d",
+				2*k, 2*k+1, place[2*k], place[2*k+1])
+		}
+	}
+	// Nil machine defaults to Harpertown.
+	if _, err := BuildMapping(oracle.Matrix, nil); err != nil {
+		t.Errorf("nil machine: %v", err)
+	}
+}
+
+func TestEvaluatePlacementMatters(t *testing.T) {
+	paired, err := Evaluate(tinyWorkload, []int{0, 1, 2, 3, 4, 5, 6, 7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Evaluate(tinyWorkload, []int{0, 4, 1, 5, 2, 6, 3, 7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Cycles <= paired.Cycles {
+		t.Errorf("splitting sharers should be slower: %d vs %d", split.Cycles, paired.Cycles)
+	}
+	if paired.Detector != "none" {
+		t.Errorf("evaluation ran with detector %q", paired.Detector)
+	}
+}
+
+func TestEvaluateNilPlacementIsIdentity(t *testing.T) {
+	res, err := Evaluate(tinyWorkload, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Placement {
+		if c != i {
+			t.Errorf("placement[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestEvaluateWithDetection(t *testing.T) {
+	det, err := EvaluateWithDetection(tinyWorkload, nil, SM, Options{SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Matrix == nil {
+		t.Fatal("no matrix")
+	}
+	if det.Result.DetectionOverhead <= 0 {
+		t.Error("overhead not measured")
+	}
+	if _, err := EvaluateWithDetection(tinyWorkload, nil, Mechanism("nope"), Options{}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestNPBWorkloadLookup(t *testing.T) {
+	if _, err := NPBWorkload("XX", npb.Params{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	w, err := NPBWorkload("EP", npb.Params{Class: npb.ClassS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Detect(w, Oracle, Options{}); err != nil {
+		t.Errorf("EP class S detection failed: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Machine == nil || o.SampleEvery == 0 || o.ScanInterval == 0 {
+		t.Error("defaults incomplete")
+	}
+	// Explicit values survive.
+	o2 := Options{SampleEvery: 100, ScanInterval: 77}.withDefaults()
+	if o2.SampleEvery != 100 || o2.ScanInterval != 77 {
+		t.Error("explicit options overwritten")
+	}
+}
+
+func TestSPClassSFullPipeline(t *testing.T) {
+	machine := topology.Harpertown()
+	sm, _, oracle, err := DetectAll(spS(), Options{SampleEvery: 1, ScanInterval: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Matrix.NeighborFraction() < 0.5 {
+		t.Errorf("SP oracle neighbour fraction = %.2f", oracle.Matrix.NeighborFraction())
+	}
+	place, err := BuildMapping(sm.Matrix, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(spS(), place, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineOracleSeesFalseSharing(t *testing.T) {
+	// Two threads write adjacent 8-byte slots of one line; the remaining
+	// threads idle. Page oracle and line oracle must both see it, but a
+	// workload with >=64-byte spacing must only appear at page level.
+	build := func(stride int) Workload {
+		return func(as *vm.AddressSpace) []trace.Program {
+			buf := trace.NewF64(as, 1024)
+			programs := make([]trace.Program, 8)
+			for i := range programs {
+				programs[i] = func(t *trace.Thread) {
+					for it := 0; it < 50; it++ {
+						if t.ID() <= 1 {
+							buf.Add(t, t.ID()*stride, 1)
+						}
+						t.Barrier()
+					}
+				}
+			}
+			return programs
+		}
+	}
+
+	sameLine, err := Detect(build(1), OracleLine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farApart, err := Detect(build(64), OracleLine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageLevel, err := Detect(build(64), Oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameLine.Matrix.At(0, 1) == 0 {
+		t.Error("line oracle missed true line sharing")
+	}
+	if farApart.Matrix.At(0, 1) != 0 {
+		t.Error("line oracle counted distinct lines")
+	}
+	if pageLevel.Matrix.At(0, 1) == 0 {
+		t.Error("page oracle should see the page-level sharing (Section III-B5)")
+	}
+}

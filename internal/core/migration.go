@@ -1,0 +1,78 @@
+package core
+
+import (
+	"tlbmap/internal/comm"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/sim"
+	"tlbmap/internal/vm"
+)
+
+// MigrationReport is the outcome of a dynamically-migrated run.
+type MigrationReport struct {
+	// Result is the simulation result (Result.Migrations counts moves).
+	Result *sim.Result
+	// Decisions lists every controller decision, in epoch order.
+	Decisions []mapping.OnlineDecision
+	// Remaps is the number of placements the controller issued.
+	Remaps int
+}
+
+// EvaluateWithDynamicMigration runs the workload with the full online
+// pipeline the paper leaves as future work: a live detection mechanism
+// accumulates the communication matrix; every Options.ScanInterval-aligned
+// migration epoch the controller inspects the epoch's delta, and when the
+// pattern has changed — and the predicted saving beats the migration cost —
+// the engine migrates the threads mid-run (cold caches and TLBs included).
+//
+// The run starts on the identity placement, exactly like an application
+// whose initial placement nobody tuned.
+func EvaluateWithDynamicMigration(w Workload, mech Mechanism, opt Options) (*MigrationReport, error) {
+	opt = opt.withDefaults()
+	as := vm.NewAddressSpace()
+	programs := w(as)
+	det, err := newDetector(mech, len(programs), opt)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &MigrationReport{}
+	online := mapping.NewOnlineMapper(opt.Machine, 0.6)
+	var prev *comm.Matrix
+	migrator := func(now uint64, placement []int) []int {
+		cur := det.Matrix()
+		if cur == nil {
+			return nil
+		}
+		epoch := cur.Sub(prev)
+		prev = cur.Clone()
+		dec, err := online.Observe(epoch)
+		if err != nil {
+			return nil
+		}
+		report.Decisions = append(report.Decisions, dec)
+		if !dec.Remap {
+			return nil
+		}
+		report.Remaps++
+		return dec.Placement
+	}
+
+	team := buildTeam(programs, opt)
+	res, err := sim.Run(sim.Config{
+		Machine:           opt.Machine,
+		L1:                opt.L1,
+		L2:                opt.L2,
+		TLB:               opt.TLB,
+		TLB2:              opt.TLB2,
+		TLBMode:           tlbModeFor(mech),
+		Detector:          det,
+		JitterSeed:        opt.JitterSeed,
+		Migrator:          migrator,
+		MigrationInterval: opt.MigrationInterval,
+	}, as, team)
+	if err != nil {
+		return nil, err
+	}
+	report.Result = res
+	return report, nil
+}

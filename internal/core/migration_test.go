@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"tlbmap/internal/splash"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// twoPhaseWorkload changes its partner mid-run: the first half pairs thread
+// t with t+1 (even t), the second half with t+4 — a static mapping can only
+// serve one phase.
+func twoPhaseWorkload(as *vm.AddressSpace) []trace.Program {
+	buffers := make([]*trace.F64, 8)
+	for i := range buffers {
+		buffers[i] = trace.NewF64(as, 4096)
+	}
+	const rounds = 60
+	programs := make([]trace.Program, 8)
+	for i := range programs {
+		programs[i] = func(t *trace.Thread) {
+			id := t.ID()
+			for r := 0; r < rounds; r++ {
+				var partner int
+				if r < rounds/2 {
+					partner = id ^ 1 // phase A: pairs (0,1)(2,3)...
+				} else {
+					partner = (id + 4) % 8 // phase B: pairs (0,4)(1,5)...
+				}
+				mine := buffers[id]
+				theirs := buffers[partner]
+				for k := 0; k < 256; k++ {
+					mine.Set(t, k, float64(r+k))
+				}
+				t.Barrier()
+				var sum float64
+				for k := 0; k < 256; k++ {
+					sum += theirs.Get(t, k)
+				}
+				_ = sum
+				t.Barrier()
+			}
+		}
+	}
+	return programs
+}
+
+func TestDynamicMigrationFollowsPhaseChange(t *testing.T) {
+	opt := Options{MigrationInterval: 200_000}
+	report, err := EvaluateWithDynamicMigration(twoPhaseWorkload, Oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Remaps < 1 {
+		t.Fatalf("controller never remapped; decisions: %+v", report.Decisions)
+	}
+	if report.Result.Migrations == 0 {
+		t.Error("no threads actually migrated")
+	}
+	// The dynamically migrated run must beat the static phase-A-optimal
+	// placement over the whole execution... at least it must beat the
+	// WORST static placement and be close to the best.
+	staticA, err := Evaluate(twoPhaseWorkload, []int{0, 1, 2, 3, 4, 5, 6, 7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(report.Result.Cycles) > 1.05*float64(staticA.Cycles) {
+		t.Errorf("dynamic run (%d cycles) much slower than static phase-A placement (%d)",
+			report.Result.Cycles, staticA.Cycles)
+	}
+}
+
+func TestDynamicMigrationStablePatternStaysPut(t *testing.T) {
+	// tinyWorkload's pattern never changes: after the initial remap the
+	// controller must not thrash.
+	report, err := EvaluateWithDynamicMigration(tinyWorkload, Oracle, Options{MigrationInterval: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Remaps > 2 {
+		t.Errorf("controller thrashed: %d remaps for a stable pattern", report.Remaps)
+	}
+}
+
+func TestDynamicMigrationOnLUC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W run")
+	}
+	// LUC's rotating hub defeats static mapping; the dynamic controller
+	// may or may not find epochs worth acting on, but the run must
+	// complete and report coherent bookkeeping.
+	w, err := SplashWorkload("LUC", splash.Params{Class: splash.ClassW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := EvaluateWithDynamicMigration(w, Oracle, Options{MigrationInterval: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Result.Accesses == 0 {
+		t.Fatal("no work simulated")
+	}
+	if len(report.Decisions) == 0 {
+		t.Error("controller never consulted")
+	}
+	moved := 0
+	for _, d := range report.Decisions {
+		if d.Remap {
+			moved += d.Migrations
+		}
+	}
+	if moved != report.Result.Migrations {
+		t.Errorf("decision migrations %d != engine migrations %d", moved, report.Result.Migrations)
+	}
+}
+
+func TestMatrixSub(t *testing.T) {
+	// Covered here since the migration pipeline depends on it.
+	w, _, _, err := DetectAll(tinyWorkload, Options{SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Matrix
+	if d := m.Sub(nil); d.Total() != m.Total() {
+		t.Error("Sub(nil) should clone")
+	}
+	if d := m.Sub(m); d.Total() != 0 {
+		t.Error("Sub(self) should be zero")
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"tlbmap/internal/npb"
+	"tlbmap/internal/splash"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// FromNPB adapts a registered NPB benchmark to the Workload interface.
+func FromNPB(b npb.Benchmark, p npb.Params) Workload {
+	return func(as *vm.AddressSpace) []trace.Program {
+		return b.Build(as, p)
+	}
+}
+
+// NPBWorkload looks a benchmark up by name and adapts it; it returns an
+// error only for unknown names.
+func NPBWorkload(name string, p npb.Params) (Workload, error) {
+	b, err := npb.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromNPB(b, p), nil
+}
+
+// FromSplash adapts a registered SPLASH-2-style kernel to the Workload
+// interface.
+func FromSplash(b splash.Benchmark, p splash.Params) Workload {
+	return func(as *vm.AddressSpace) []trace.Program {
+		return b.Build(as, p)
+	}
+}
+
+// SplashWorkload looks a SPLASH-2-style kernel up by name and adapts it.
+func SplashWorkload(name string, p splash.Params) (Workload, error) {
+	b, err := splash.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromSplash(b, p), nil
+}

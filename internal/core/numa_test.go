@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"tlbmap/internal/datamap"
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// nodeLocalWorkload: threads 0-3 pound one buffer, threads 4-7 another —
+// the cleanest possible NUMA workload (each buffer belongs on one node).
+func nodeLocalWorkload(as *vm.AddressSpace) []trace.Program {
+	left := trace.NewF64(as, 4096)
+	right := trace.NewF64(as, 4096)
+	programs := make([]trace.Program, 8)
+	for i := range programs {
+		programs[i] = func(t *trace.Thread) {
+			buf := left
+			if t.ID() >= 4 {
+				buf = right
+			}
+			for it := 0; it < 20; it++ {
+				// Each thread's range overlaps the next thread's page,
+				// so the buffers are genuinely shared within the group.
+				for k := 0; k < 640; k++ {
+					buf.Add(t, (t.ID()*512+k)%buf.Len(), 1)
+				}
+				t.Barrier()
+			}
+		}
+	}
+	return programs
+}
+
+func TestProfileData(t *testing.T) {
+	prof, err := ProfileData(nodeLocalWorkload, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Result.Accesses == 0 {
+		t.Fatal("no accesses profiled")
+	}
+	if len(prof.Profile.Pages()) == 0 {
+		t.Fatal("no pages profiled")
+	}
+	if len(prof.Profile.SharedPages()) == 0 {
+		t.Error("shared buffers produced no shared pages")
+	}
+}
+
+func TestEvaluateNUMARequiresNUMAMachine(t *testing.T) {
+	if _, err := EvaluateNUMA(nodeLocalWorkload, nil, nil, Options{}); err == nil {
+		t.Error("UMA machine accepted")
+	}
+}
+
+func TestEvaluateNUMADataPoliciesOrdering(t *testing.T) {
+	machine := topology.NUMA(2)
+	opt := Options{Machine: machine}
+	prof, err := ProfileData(nodeLocalWorkload, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := []int{0, 1, 2, 3, 4, 5, 6, 7} // threads 0-3 on node 0
+
+	remote := func(p datamap.Policy) uint64 {
+		assign, err := datamap.Build(p, prof.Profile, machine, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvaluateNUMA(nodeLocalWorkload, placement, assign, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.Get(metrics.RemoteMemAccesses)
+	}
+
+	ma := remote(datamap.MostAccessed{})
+	il := remote(datamap.Interleave{})
+	if ma >= il {
+		t.Errorf("most-accessed remote fills (%d) should be below interleave (%d)", ma, il)
+	}
+	// With node-local buffers, most-accessed should be almost perfectly
+	// local.
+	if ma > il/4 {
+		t.Errorf("most-accessed remote fills too high: %d vs interleave %d", ma, il)
+	}
+}
+
+func TestEvaluateNUMANilAssignmentDefaultsNodeZero(t *testing.T) {
+	machine := topology.NUMA(2)
+	res, err := EvaluateNUMA(nodeLocalWorkload, nil, nil, Options{Machine: machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything on node 0: node-1 cores fill remotely.
+	if res.Counters.Get(metrics.RemoteMemAccesses) == 0 {
+		t.Error("expected remote fills with all data on node 0")
+	}
+	if res.Counters.Get(metrics.LocalMemAccesses) == 0 {
+		t.Error("expected local fills for node-0 cores")
+	}
+}
+
+func TestNUMAPipelineOnNPB(t *testing.T) {
+	machine := topology.NUMA(2)
+	opt := Options{Machine: machine}
+	w, err := NPBWorkload("MG", npb.Params{Class: npb.ClassS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Detect(w, SM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := BuildMapping(det.Matrix, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileData(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := datamap.Build(datamap.MostAccessed{}, prof.Profile, machine, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateNUMA(w, placement, assign, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := res.Counters.Get(metrics.LocalMemAccesses)
+	remoteFills := res.Counters.Get(metrics.RemoteMemAccesses)
+	if local+remoteFills != res.Counters.Get(metrics.MemoryReads) {
+		t.Errorf("local %d + remote %d != memory reads %d",
+			local, remoteFills, res.Counters.Get(metrics.MemoryReads))
+	}
+	if local <= remoteFills {
+		t.Errorf("most-accessed placement mostly remote: local %d, remote %d", local, remoteFills)
+	}
+}
+
+func TestUMAEvaluateHasNoNUMACounters(t *testing.T) {
+	res, err := Evaluate(tinyWorkload, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(metrics.LocalMemAccesses) != 0 || res.Counters.Get(metrics.RemoteMemAccesses) != 0 {
+		t.Error("UMA run produced NUMA counters")
+	}
+}

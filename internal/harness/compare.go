@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"tlbmap/internal/paperdata"
+)
+
+// CompareRow pairs one benchmark's measured normalized results (SM mapping
+// vs OS baseline) with the paper's published values.
+type CompareRow struct {
+	Name                        string
+	Heterogeneous               bool
+	TimeOurs, TimePaper         float64
+	InvOurs, InvPaper           float64
+	SnoopOurs, SnoopPaper       float64
+	L2Ours, L2Paper             float64
+	MissRateOurs, MissRatePaper float64
+	OverheadOurs, OverheadPaper float64
+	// ShapeOK is true when the qualitative claim holds: heterogeneous
+	// benchmarks improve (ratios < 1), homogeneous ones stay neutral.
+	ShapeOK bool
+}
+
+// Compare runs the performance experiments plus Table III and pairs every
+// measured value with the paper's published number. It only supports the
+// npb suite (the paper has no SPLASH results to compare against).
+func Compare(cfg Config) ([]CompareRow, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Suite != "npb" {
+		return nil, fmt.Errorf("harness: compare requires the npb suite, got %q", cfg.Suite)
+	}
+	perf, err := RunPerformance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t3ByName := map[string]Table3Row{}
+	for _, r := range t3 {
+		t3ByName[r.Name] = r
+	}
+
+	out := make([]CompareRow, 0, len(perf))
+	for _, p := range perf {
+		row := CompareRow{
+			Name:          p.Name,
+			Heterogeneous: paperdata.Heterogeneous(p.Name),
+			TimeOurs:      p.Normalized(SMLabel, "time"),
+			InvOurs:       p.Normalized(SMLabel, "inv"),
+			SnoopOurs:     p.Normalized(SMLabel, "snoop"),
+			L2Ours:        p.Normalized(SMLabel, "l2miss"),
+		}
+		if t, i, s, l, ok := paperdata.NormalizedSM(p.Name); ok {
+			row.TimePaper, row.InvPaper, row.SnoopPaper, row.L2Paper = t, i, s, l
+		}
+		if r, ok := t3ByName[p.Name]; ok {
+			row.MissRateOurs, row.OverheadOurs = r.MissRate, r.Overhead
+		}
+		if r, ok := paperdata.Table3[p.Name]; ok {
+			row.MissRatePaper, row.OverheadPaper = r.MissRate, r.Overhead
+		}
+		if row.Heterogeneous {
+			// Claim: mapping helps — time not worse, coherence clearly
+			// reduced.
+			row.ShapeOK = row.TimeOurs <= 1.01 && row.InvOurs < 0.95 && row.SnoopOurs < 0.95
+		} else {
+			// Claim: nothing to exploit — time unchanged.
+			row.ShapeOK = row.TimeOurs > 0.97 && row.TimeOurs < 1.05
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderCompare prints the side-by-side comparison.
+func RenderCompare(rows []CompareRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Paper vs. measured (SM mapping, normalized to the OS scheduler)")
+	fmt.Fprintln(&b, "Each cell: measured / paper. Shape verdict per the paper's qualitative claim.")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "App\tpattern\ttime\tinvalidations\tsnoops\tL2 misses\tSM overhead\tshape")
+	for _, r := range rows {
+		kind := "homogeneous"
+		if r.Heterogeneous {
+			kind = "heterogeneous"
+		}
+		verdict := "MISMATCH"
+		if r.ShapeOK {
+			verdict = "ok"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3f / %.3f\t%.3f / %.3f\t%.3f / %.3f\t%.3f / %.3f\t%.3f%% / %.3f%%\t%s\n",
+			r.Name, kind,
+			r.TimeOurs, r.TimePaper,
+			r.InvOurs, r.InvPaper,
+			r.SnoopOurs, r.SnoopPaper,
+			r.L2Ours, r.L2Paper,
+			r.OverheadOurs*100, r.OverheadPaper*100,
+			verdict)
+	}
+	w.Flush()
+
+	champs := paperdata.Champions()
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "Paper's headline champions (largest reductions):")
+	for _, metric := range []string{"time", "l2miss", "inv", "snoop"} {
+		c := champs[metric]
+		ours := ""
+		for _, r := range rows {
+			if r.Name != c.App {
+				continue
+			}
+			switch metric {
+			case "time":
+				ours = fmt.Sprintf("%.1f%%", 100*(1-r.TimeOurs))
+			case "l2miss":
+				ours = fmt.Sprintf("%.1f%%", 100*(1-r.L2Ours))
+			case "inv":
+				ours = fmt.Sprintf("%.1f%%", 100*(1-r.InvOurs))
+			case "snoop":
+				ours = fmt.Sprintf("%.1f%%", 100*(1-r.SnoopOurs))
+			}
+		}
+		if ours == "" {
+			ours = "n/a (benchmark not in this run)"
+		}
+		fmt.Fprintf(&b, "  %-7s %s: paper %.1f%%, measured %s\n", metric, c.App, 100*c.Reduction, ours)
+	}
+	return b.String()
+}

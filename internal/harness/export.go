@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePerformanceCSV exports the performance results as CSV with one row
+// per (benchmark, placement): means and relative standard deviations of
+// every metric. Suitable for external plotting of Figures 6-9 and
+// Tables IV/V.
+func WritePerformanceCSV(w io.Writer, results []PerfResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "mapping",
+		"time_s", "time_sd_pct",
+		"invalidations", "inv_sd_pct",
+		"snoops", "snoop_sd_pct",
+		"l2_misses", "l2_sd_pct",
+		"time_normalized", "inv_normalized", "snoop_normalized", "l2_normalized",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range results {
+		for _, label := range []MappingLabel{OSLabel, SMLabel, HMLabel} {
+			st := r.Stats[label]
+			row := []string{
+				r.Name, string(label),
+				f(st.Time.Mean()), f(st.Time.RelStdDev()),
+				f(st.Inv.Mean()), f(st.Inv.RelStdDev()),
+				f(st.Snoop.Mean()), f(st.Snoop.RelStdDev()),
+				f(st.L2Miss.Mean()), f(st.L2Miss.RelStdDev()),
+				f(r.Normalized(label, "time")), f(r.Normalized(label, "inv")),
+				f(r.Normalized(label, "snoop")), f(r.Normalized(label, "l2miss")),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePatternsCSV exports the detected communication matrices: one row per
+// (benchmark, mechanism, i, j) cell of the upper triangle.
+func WritePatternsCSV(w io.Writer, results []PatternResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "mechanism", "i", "j", "communication"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, m := range []struct {
+			name   string
+			matrix interface {
+				N() int
+				At(int, int) uint64
+			}
+		}{
+			{"SM", r.SM.Matrix},
+			{"HM", r.HM.Matrix},
+			{"oracle", r.Oracle.Matrix},
+		} {
+			n := m.matrix.N()
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					row := []string{
+						r.Name, m.name,
+						strconv.Itoa(i), strconv.Itoa(j),
+						strconv.FormatUint(m.matrix.At(i, j), 10),
+					}
+					if err := cw.Write(row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV exports the SM statistics of Table III.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "tlb_miss_rate", "sampled_fraction", "searches", "overhead"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name,
+			fmt.Sprintf("%g", r.MissRate),
+			fmt.Sprintf("%g", r.SampledFraction),
+			strconv.FormatUint(r.Searches, 10),
+			fmt.Sprintf("%g", r.Overhead),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWritePerformanceCSV(t *testing.T) {
+	perf, err := RunPerformance(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePerformanceCSV(&buf, perf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 benchmarks x 3 mappings.
+	if len(records) != 1+2*3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "benchmark" || len(records[0]) != 14 {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "OS" || records[2][1] != "SM" || records[3][1] != "HM" {
+		t.Errorf("mapping order wrong: %v %v %v", records[1][1], records[2][1], records[3][1])
+	}
+}
+
+func TestWritePatternsCSV(t *testing.T) {
+	patterns, err := DetectPatterns(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePatternsCSV(&buf, patterns); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 benchmarks x 3 mechanisms x 28 pairs.
+	if want := 1 + 2*3*28; len(records) != want {
+		t.Fatalf("rows = %d, want %d", len(records), want)
+	}
+	if !strings.Contains(out, "oracle") {
+		t.Error("mechanisms missing")
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	rows, err := RunTable3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+2 {
+		t.Fatalf("rows = %d", len(records))
+	}
+}
+
+func TestRunStorageCostTiny(t *testing.T) {
+	rows, err := RunStorageCost(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TraceBytes == 0 || r.Accesses == 0 {
+			t.Errorf("%s: empty trace", r.Name)
+		}
+		if r.MatrixBytes != 8*8*8 {
+			t.Errorf("%s: matrix bytes = %d", r.Name, r.MatrixBytes)
+		}
+		if r.Ratio() <= 1 {
+			t.Errorf("%s: trace (%d B) should dwarf the matrix (%d B)",
+				r.Name, r.TraceBytes, r.MatrixBytes)
+		}
+	}
+	out := RenderStorageCost(rows)
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "SP") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,177 @@
+// Package harness drives the paper's experiments end-to-end and renders
+// their tables and figures as text. Every table and figure of the
+// evaluation section has a driver here:
+//
+//	Table I    — mechanism comparison (configuration + measured costs)
+//	Table II   — cache configuration in effect
+//	Figures 4/5 — communication matrices detected by SM and HM
+//	Figures 6-9 — execution time, invalidations, snoop transactions and L2
+//	              misses normalized to the OS scheduler
+//	Table III  — SM statistics (miss rate, sampled fraction, overhead)
+//	Tables IV/V — absolute rates and relative standard deviations
+//
+// cmd/experiments and the repository-level benchmarks are thin wrappers
+// around these drivers.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/core"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/splash"
+	"tlbmap/internal/topology"
+)
+
+// ClockHz converts simulated cycles to seconds for the per-second rates of
+// Table IV. The real machine of the evaluation (Xeon E5405) runs at 2 GHz.
+const ClockHz = 2e9
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Suite selects the workload suite: "npb" (default, the paper's
+	// benchmarks) or "splash" (the SPLASH-2-style extension suite).
+	Suite string
+	// Class is the problem size (default npb.ClassW).
+	Class npb.Class
+	// Benchmarks to run; nil selects the whole suite.
+	Benchmarks []string
+	// Repetitions per mapping for the statistics of Tables IV/V. The
+	// paper runs each benchmark 100 times; the default here is 10.
+	Repetitions int
+	// Options for detection and evaluation runs.
+	Options core.Options
+	// Seed perturbs workload-internal randomness and OS placements.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed step.
+	Progress func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Suite == "" {
+		c.Suite = "npb"
+	}
+	if c.Class == "" {
+		c.Class = npb.ClassW
+	}
+	if len(c.Benchmarks) == 0 {
+		if c.Suite == "splash" {
+			c.Benchmarks = splash.Names()
+		} else {
+			c.Benchmarks = npb.Names()
+		}
+	} else {
+		sorted := append([]string(nil), c.Benchmarks...)
+		sort.Strings(sorted)
+		c.Benchmarks = sorted
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
+}
+
+// workload builds the core.Workload for one benchmark at the configured
+// class, with a per-run seed.
+func (c Config) workload(name string, seed int64) (core.Workload, error) {
+	if c.Suite == "splash" {
+		b, err := splash.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromSplash(b, splash.Params{Class: splash.Class(c.Class), Seed: seed}), nil
+	}
+	b, err := npb.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromNPB(b, npb.Params{Class: c.Class, Seed: seed}), nil
+}
+
+// PatternResult holds the detected communication matrices of one benchmark
+// (the data behind Figures 4 and 5, plus the oracle reference).
+type PatternResult struct {
+	Name     string
+	Expected npb.Pattern
+	SM       *core.Detection
+	HM       *core.Detection
+	Oracle   *core.Detection
+}
+
+// SMSimilarity returns the Pearson similarity of the SM matrix to the
+// oracle pattern.
+func (p PatternResult) SMSimilarity() float64 { return p.SM.Matrix.Similarity(p.Oracle.Matrix) }
+
+// HMSimilarity returns the Pearson similarity of the HM matrix to the
+// oracle pattern.
+func (p PatternResult) HMSimilarity() float64 { return p.HM.Matrix.Similarity(p.Oracle.Matrix) }
+
+// DetectPatterns runs every configured benchmark once with SM, HM and the
+// oracle observing, producing the data for Figures 4 and 5.
+func DetectPatterns(cfg Config) ([]PatternResult, error) {
+	cfg = cfg.withDefaults()
+	out := make([]PatternResult, 0, len(cfg.Benchmarks))
+	for _, name := range cfg.Benchmarks {
+		expected, err := cfg.expectedPattern(name)
+		if err != nil {
+			return nil, err
+		}
+		w, err := cfg.workload(name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sm, hm, oracle, err := core.DetectAll(w, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("harness: detecting %s: %w", name, err)
+		}
+		out = append(out, PatternResult{
+			Name: name, Expected: expected, SM: sm, HM: hm, Oracle: oracle,
+		})
+		cfg.logf("detected %s: SM sim %.3f, HM sim %.3f", name, out[len(out)-1].SMSimilarity(), out[len(out)-1].HMSimilarity())
+	}
+	return out, nil
+}
+
+// expectedPattern returns the declared pattern of a benchmark in the
+// configured suite, normalized to the npb.Pattern type for rendering.
+func (c Config) expectedPattern(name string) (npb.Pattern, error) {
+	if c.Suite == "splash" {
+		b, err := splash.Get(name)
+		if err != nil {
+			return "", err
+		}
+		return npb.Pattern(b.Expected), nil
+	}
+	b, err := npb.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return b.Expected, nil
+}
+
+// Machine returns the topology a config runs on.
+func (c Config) Machine() *topology.Machine {
+	if c.Options.Machine != nil {
+		return c.Options.Machine
+	}
+	return topology.Harpertown()
+}
+
+// matrixOrEmpty guards renderers against nil matrices.
+func matrixOrEmpty(m *comm.Matrix, n int) *comm.Matrix {
+	if m != nil {
+		return m
+	}
+	return comm.NewMatrix(n)
+}

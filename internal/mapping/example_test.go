@@ -1,0 +1,63 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/topology"
+)
+
+// ExampleHierarchical_Map maps a detected communication pattern onto the
+// paper's two-socket Harpertown machine: threads communicating with their
+// distance-four partner end up sharing L2 caches.
+func ExampleHierarchical_Map() {
+	machine := topology.Harpertown()
+	m := comm.NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		m.Add(i, i+4, 100) // heavy pairs (0,4) (1,5) (2,6) (3,7)
+	}
+
+	placement, err := mapping.NewEdmonds().Map(m, machine)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Printf("pair (%d,%d) shares an L2: %v\n",
+			i, i+4, machine.SameL2(placement[i], placement[i+4]))
+	}
+	fmt.Println("cost:", mapping.Cost(m, machine, placement))
+	// Output:
+	// pair (0,4) shares an L2: true
+	// pair (1,5) shares an L2: true
+	// pair (2,6) shares an L2: true
+	// pair (3,7) shares an L2: true
+	// cost: 3200
+}
+
+// ExampleOnlineMapper shows the dynamic-migration controller reacting to a
+// phase change between two epochs.
+func ExampleOnlineMapper() {
+	o := mapping.NewOnlineMapper(topology.Harpertown(), 0.8)
+
+	phaseA := comm.NewMatrix(8)
+	for i := 0; i < 8; i += 2 {
+		phaseA.Add(i, i+1, 1000)
+	}
+	phaseB := comm.NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		phaseB.Add(i, i+4, 1000)
+	}
+
+	d1, _ := o.Observe(phaseA)
+	d2, _ := o.Observe(phaseA)
+	d3, _ := o.Observe(phaseB)
+	fmt.Println("epoch 1 remap:", d1.Remap, "-", d1.Reason)
+	fmt.Println("epoch 2 remap:", d2.Remap, "-", d2.Reason)
+	fmt.Println("epoch 3 remap:", d3.Remap, "-", d3.Reason)
+	// Output:
+	// epoch 1 remap: false - current placement already optimal for new phase
+	// epoch 2 remap: false - pattern stable
+	// epoch 3 remap: true - phase change
+}

@@ -1,0 +1,134 @@
+package mapping
+
+import (
+	"fmt"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/topology"
+)
+
+// DefaultMinGain is the default remap hysteresis: the reduction of the
+// mapping cost function (communication units × interconnect cycles) one
+// epoch must promise before the controller issues a remap. Detected
+// communication units are samples, not raw coherence events, so this
+// threshold is expressed in the matrix's own unit-cycles; tune it to the
+// detector and epoch length in use.
+const DefaultMinGain = 2_000
+
+// OnlineDecision describes what the controller chose to do after an epoch.
+type OnlineDecision struct {
+	// Remap is true when the controller issued a new placement.
+	Remap bool
+	// Placement is the placement in force after the decision.
+	Placement []int
+	// Migrations is the number of threads that had to move.
+	Migrations int
+	// Reason explains the decision ("phase change", "insufficient gain",
+	// "pattern stable", "warmup").
+	Reason string
+	// PredictedGain is the reduction of the mapping cost function the new
+	// placement achieves on the epoch matrix (0 when not remapping).
+	PredictedGain uint64
+}
+
+// OnlineMapper is the dynamic-migration controller of the paper's future
+// work (Section VII): it consumes per-epoch communication matrices (from a
+// comm.EpochDetector-instrumented run), detects phase changes, and issues
+// remaps only when the predicted communication-cost saving exceeds the
+// migration cost — the hysteresis that keeps a naive remapper from
+// thrashing.
+type OnlineMapper struct {
+	// MinGain is the remap hysteresis in mapping-cost units (see
+	// DefaultMinGain). Raise it to make the controller more conservative.
+	MinGain uint64
+
+	machine   *topology.Machine
+	mapper    Algorithm
+	tracker   *PhaseTracker
+	placement []int
+	remaps    int
+	decisions int
+}
+
+// NewOnlineMapper builds a controller for the machine using the paper's
+// Edmonds mapper and a phase-change threshold (0 selects the default).
+func NewOnlineMapper(machine *topology.Machine, threshold float64) *OnlineMapper {
+	n := machine.NumCores()
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	return &OnlineMapper{
+		MinGain:   DefaultMinGain,
+		machine:   machine,
+		mapper:    NewEdmonds(),
+		tracker:   NewPhaseTracker(threshold),
+		placement: identity,
+	}
+}
+
+// Placement returns the placement currently in force.
+func (o *OnlineMapper) Placement() []int {
+	return append([]int(nil), o.placement...)
+}
+
+// Remaps returns how many remaps the controller has issued.
+func (o *OnlineMapper) Remaps() int { return o.remaps }
+
+// Observe feeds one epoch's communication matrix and returns the decision.
+// Every non-idle epoch is evaluated against the current placement — even
+// when the pattern is stable — so a remap declined earlier (e.g. the epoch
+// was too short to justify it) is reconsidered while the opportunity
+// persists.
+func (o *OnlineMapper) Observe(epoch *comm.Matrix) (OnlineDecision, error) {
+	o.decisions++
+	keep := OnlineDecision{Placement: o.Placement()}
+	if epoch == nil || epoch.Total() == 0 {
+		keep.Reason = "idle epoch"
+		return keep, nil
+	}
+	changed := o.tracker.Observe(epoch)
+	candidate, err := o.mapper.Map(epoch, o.machine)
+	if err != nil {
+		return keep, fmt.Errorf("mapping: online remap: %w", err)
+	}
+	oldCost := Cost(epoch, o.machine, o.placement)
+	newCost := Cost(epoch, o.machine, candidate)
+	if newCost >= oldCost {
+		if changed {
+			keep.Reason = "current placement already optimal for new phase"
+		} else {
+			keep.Reason = "pattern stable"
+		}
+		return keep, nil
+	}
+	gain := oldCost - newCost
+	if gain < o.MinGain {
+		keep.Reason = "insufficient gain"
+		return keep, nil
+	}
+	migrations := countMigrations(o.placement, candidate)
+	o.placement = candidate
+	o.remaps++
+	reason := "accumulated gain"
+	if changed {
+		reason = "phase change"
+	}
+	return OnlineDecision{
+		Remap:         true,
+		Placement:     o.Placement(),
+		Migrations:    migrations,
+		Reason:        reason,
+		PredictedGain: gain,
+	}, nil
+}
+
+func countMigrations(old, new []int) int {
+	n := 0
+	for i := range old {
+		if old[i] != new[i] {
+			n++
+		}
+	}
+	return n
+}

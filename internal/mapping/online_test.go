@@ -1,0 +1,131 @@
+package mapping
+
+import (
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/topology"
+)
+
+// heavyDistant builds a matrix whose optimal mapping differs strongly from
+// the identity: pairs (i, i+4) with weights large enough to dwarf the
+// migration cost.
+func heavyDistant() *comm.Matrix {
+	m := comm.NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		m.Add(i, i+4, 1_000_000)
+	}
+	return m
+}
+
+// heavyChain is the identity-friendly pattern at the same weight scale.
+func heavyChain() *comm.Matrix {
+	m := comm.NewMatrix(8)
+	for i := 0; i+1 < 8; i++ {
+		m.Add(i, i+1, 1_000_000)
+	}
+	return m
+}
+
+func TestOnlineMapperFirstPhaseRemaps(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	dec, err := o.Observe(heavyDistant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Remap {
+		t.Fatalf("first heavy phase not remapped: %s", dec.Reason)
+	}
+	if dec.Migrations == 0 || dec.PredictedGain == 0 {
+		t.Errorf("decision incomplete: %+v", dec)
+	}
+	if o.Remaps() != 1 {
+		t.Errorf("remaps = %d", o.Remaps())
+	}
+	// The new placement must pair the distant threads on L2 domains.
+	machine := topology.Harpertown()
+	for i := 0; i < 4; i++ {
+		if !machine.SameL2(dec.Placement[i], dec.Placement[i+4]) {
+			t.Errorf("pair (%d,%d) not colocated", i, i+4)
+		}
+	}
+}
+
+func TestOnlineMapperStablePhaseDoesNotThrash(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	if _, err := o.Observe(heavyDistant()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		dec, err := o.Observe(heavyDistant())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Remap {
+			t.Fatalf("stable pattern remapped on epoch %d", i)
+		}
+	}
+	if o.Remaps() != 1 {
+		t.Errorf("remaps = %d, want 1", o.Remaps())
+	}
+}
+
+func TestOnlineMapperFollowsPhaseChange(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	if _, err := o.Observe(heavyDistant()); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := o.Observe(heavyChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Remap {
+		t.Fatalf("phase change ignored: %s", dec.Reason)
+	}
+	if o.Remaps() != 2 {
+		t.Errorf("remaps = %d", o.Remaps())
+	}
+}
+
+func TestOnlineMapperIgnoresIdleEpochs(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	dec, err := o.Observe(comm.NewMatrix(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Remap || dec.Reason != "idle epoch" {
+		t.Errorf("idle epoch decision: %+v", dec)
+	}
+	if _, err := o.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMapperInsufficientGain(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	// A pattern whose total communication is tiny compared to the
+	// migration cost: remapping cannot pay off.
+	weak := comm.NewMatrix(8)
+	for i := 0; i < 4; i++ {
+		weak.Add(i, i+4, 3)
+	}
+	dec, err := o.Observe(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Remap {
+		t.Error("remapped despite negligible gain")
+	}
+	if dec.Reason != "insufficient gain" {
+		t.Errorf("reason = %q", dec.Reason)
+	}
+}
+
+func TestOnlineMapperPlacementIsCopy(t *testing.T) {
+	o := NewOnlineMapper(topology.Harpertown(), 0.8)
+	p := o.Placement()
+	p[0] = 99
+	if o.Placement()[0] == 99 {
+		t.Error("Placement aliases internal state")
+	}
+}

@@ -1,0 +1,490 @@
+// Package matching solves the maximum weight perfect matching problem for
+// complete weighted graphs (Figure 2 of the paper): given a communication
+// matrix, find the pairing of threads that maximizes the total communication
+// inside pairs. The paper solves it with the Edmonds graph matching
+// algorithm [4]; this package provides a full O(N³) blossom implementation
+// plus an exact bitmask dynamic program and a greedy heuristic used as
+// cross-check and ablation baseline.
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrOddVertices is returned when a perfect matching is requested for an
+// odd number of vertices.
+var ErrOddVertices = errors.New("matching: perfect matching requires an even number of vertices")
+
+// Validate checks that w is a square, symmetric, non-negative matrix with an
+// even dimension.
+func Validate(w [][]int64) error {
+	n := len(w)
+	if n == 0 {
+		return errors.New("matching: empty weight matrix")
+	}
+	if n%2 != 0 {
+		return ErrOddVertices
+	}
+	for i := range w {
+		if len(w[i]) != n {
+			return fmt.Errorf("matching: row %d has %d entries, want %d", i, len(w[i]), n)
+		}
+		for j := range w[i] {
+			if w[i][j] < 0 {
+				return fmt.Errorf("matching: negative weight w[%d][%d] = %d", i, j, w[i][j])
+			}
+			if w[i][j] != w[j][i] {
+				return fmt.Errorf("matching: asymmetric weights w[%d][%d]=%d w[%d][%d]=%d",
+					i, j, w[i][j], j, i, w[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// MatchingWeight sums the weight of a matching given as a mate array.
+func MatchingWeight(w [][]int64, mate []int) int64 {
+	var total int64
+	for i, j := range mate {
+		if j > i {
+			total += w[i][j]
+		}
+	}
+	return total
+}
+
+// MaxWeightPerfectMatching returns a maximum weight perfect matching of the
+// complete graph whose edge weights are given by the symmetric non-negative
+// matrix w. The result maps each vertex to its mate. The implementation is
+// the O(N³) Edmonds blossom algorithm with dual variables.
+//
+// Because all perfect matchings of a complete graph contain exactly N/2
+// edges, the weights are internally shifted by +1; this keeps every edge
+// "present" for the solver without changing which matching is optimal.
+func MaxWeightPerfectMatching(w [][]int64) ([]int, int64, error) {
+	if err := Validate(w); err != nil {
+		return nil, 0, err
+	}
+	n := len(w)
+	if n == 2 {
+		return []int{1, 0}, w[0][1], nil
+	}
+	b := newBlossomSolver(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.setWeight(i+1, j+1, w[i][j]+1) // +1 shift: see doc comment
+			}
+		}
+	}
+	mate1 := b.solve()
+	mate := make([]int, n)
+	for i := 1; i <= n; i++ {
+		if mate1[i] == 0 {
+			return nil, 0, fmt.Errorf("matching: solver left vertex %d unmatched", i-1)
+		}
+		mate[i-1] = mate1[i] - 1
+	}
+	return mate, MatchingWeight(w, mate), nil
+}
+
+const inf = math.MaxInt64 / 4
+
+// edge mirrors the (u, v, w) triple the solver tracks per vertex pair,
+// including contracted blossom pseudo-vertices.
+type edge struct {
+	u, v int
+	w    int64
+}
+
+// blossomSolver is a direct implementation of the classic O(N³) maximum
+// weight general matching algorithm with lazy blossom bookkeeping. Vertices
+// are 1-based; pseudo-vertices (contracted blossoms) occupy IDs n+1..2n.
+type blossomSolver struct {
+	n, nx    int
+	g        [][]edge
+	lab      []int64
+	match    []int
+	slack    []int
+	st       []int
+	pa       []int
+	flowerFr [][]int // flowerFr[b][x]: the sub-blossom of b containing original vertex x
+	s        []int   // -1 unvisited, 0 even/outer, 1 odd/inner
+	vis      []int
+	flower   [][]int
+	q        []int
+	visitTag int
+}
+
+func newBlossomSolver(n int) *blossomSolver {
+	size := 2*n + 1
+	b := &blossomSolver{
+		n:        n,
+		g:        make([][]edge, size),
+		lab:      make([]int64, size),
+		match:    make([]int, size),
+		slack:    make([]int, size),
+		st:       make([]int, size),
+		pa:       make([]int, size),
+		flowerFr: make([][]int, size),
+		s:        make([]int, size),
+		vis:      make([]int, size),
+		flower:   make([][]int, size),
+	}
+	for i := range b.g {
+		b.g[i] = make([]edge, size)
+		b.flowerFr[i] = make([]int, n+1)
+		for j := range b.g[i] {
+			b.g[i][j] = edge{u: i, v: j}
+		}
+	}
+	return b
+}
+
+func (b *blossomSolver) setWeight(u, v int, w int64) {
+	b.g[u][v].w = w
+}
+
+func (b *blossomSolver) eDelta(e edge) int64 {
+	return b.lab[e.u] + b.lab[e.v] - 2*b.g[e.u][e.v].w
+}
+
+func (b *blossomSolver) updateSlack(u, x int) {
+	if b.slack[x] == 0 || b.eDelta(b.g[u][x]) < b.eDelta(b.g[b.slack[x]][x]) {
+		b.slack[x] = u
+	}
+}
+
+func (b *blossomSolver) setSlack(x int) {
+	b.slack[x] = 0
+	for u := 1; u <= b.n; u++ {
+		if b.g[u][x].w > 0 && b.st[u] != x && b.s[b.st[u]] == 0 {
+			b.updateSlack(u, x)
+		}
+	}
+}
+
+func (b *blossomSolver) qPush(x int) {
+	if x <= b.n {
+		b.q = append(b.q, x)
+		return
+	}
+	for _, child := range b.flower[x] {
+		b.qPush(child)
+	}
+}
+
+func (b *blossomSolver) setSt(x, root int) {
+	b.st[x] = root
+	if x > b.n {
+		for _, child := range b.flower[x] {
+			b.setSt(child, root)
+		}
+	}
+}
+
+// getPr orients blossom bl so that the path flower[0..pr] from the base to
+// xr has even length, reversing the cycle when necessary, and returns pr.
+func (b *blossomSolver) getPr(bl, xr int) int {
+	pr := 0
+	for i, x := range b.flower[bl] {
+		if x == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		// Odd position: walk the cycle the other way round.
+		rest := b.flower[bl][1:]
+		for i, j := 0, len(rest)-1; i < j; i, j = i+1, j-1 {
+			rest[i], rest[j] = rest[j], rest[i]
+		}
+		return len(b.flower[bl]) - pr
+	}
+	return pr
+}
+
+func (b *blossomSolver) setMatch(u, v int) {
+	b.match[u] = b.g[u][v].v
+	if u <= b.n {
+		return
+	}
+	e := b.g[u][v]
+	xr := b.flowerFr[u][e.u]
+	pr := b.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		b.setMatch(b.flower[u][i], b.flower[u][i^1])
+	}
+	b.setMatch(xr, v)
+	// Rotate so xr becomes the new base.
+	fl := b.flower[u]
+	b.flower[u] = append(append([]int{}, fl[pr:]...), fl[:pr]...)
+}
+
+func (b *blossomSolver) augment(u, v int) {
+	for {
+		xnv := b.st[b.match[u]]
+		b.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		b.setMatch(xnv, b.st[b.pa[xnv]])
+		u, v = b.st[b.pa[xnv]], xnv
+	}
+}
+
+func (b *blossomSolver) getLCA(u, v int) int {
+	b.visitTag++
+	t := b.visitTag
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if b.vis[u] == t {
+				return u
+			}
+			b.vis[u] = t
+			u = b.st[b.match[u]]
+			if u != 0 {
+				u = b.st[b.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (b *blossomSolver) addBlossom(u, lca, v int) {
+	bl := b.n + 1
+	for bl <= b.nx && b.st[bl] != 0 {
+		bl++
+	}
+	if bl > b.nx {
+		b.nx++
+	}
+	b.lab[bl] = 0
+	b.s[bl] = 0
+	b.match[bl] = b.match[lca]
+	b.flower[bl] = b.flower[bl][:0]
+	b.flower[bl] = append(b.flower[bl], lca)
+	for x := u; x != lca; {
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], x, y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	rest := b.flower[bl][1:]
+	for i, j := 0, len(rest)-1; i < j; i, j = i+1, j-1 {
+		rest[i], rest[j] = rest[j], rest[i]
+	}
+	for x := v; x != lca; {
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], x, y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	b.setSt(bl, bl)
+	for x := 1; x <= b.nx; x++ {
+		b.g[bl][x].w = 0
+		b.g[x][bl].w = 0
+	}
+	for x := 1; x <= b.n; x++ {
+		b.flowerFr[bl][x] = 0
+	}
+	for _, xs := range b.flower[bl] {
+		for x := 1; x <= b.nx; x++ {
+			if b.g[bl][x].w == 0 || b.eDelta(b.g[xs][x]) < b.eDelta(b.g[bl][x]) {
+				b.g[bl][x] = b.g[xs][x]
+				b.g[x][bl] = b.g[x][xs]
+			}
+		}
+		for x := 1; x <= b.n; x++ {
+			if xs <= b.n {
+				if xs == x {
+					b.flowerFr[bl][x] = xs
+				}
+			} else if b.flowerFr[xs][x] != 0 {
+				b.flowerFr[bl][x] = xs
+			}
+		}
+	}
+	b.setSlack(bl)
+}
+
+func (b *blossomSolver) expandBlossom(bl int) {
+	for _, child := range b.flower[bl] {
+		b.setSt(child, child)
+	}
+	xr := b.flowerFr[bl][b.g[bl][b.pa[bl]].u]
+	pr := b.getPr(bl, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := b.flower[bl][i]
+		xns := b.flower[bl][i+1]
+		b.pa[xs] = b.g[xns][xs].u
+		b.s[xs] = 1
+		b.s[xns] = 0
+		b.slack[xs] = 0
+		b.setSlack(xns)
+		b.qPush(xns)
+	}
+	b.s[xr] = 1
+	b.pa[xr] = b.pa[bl]
+	for i := pr + 1; i < len(b.flower[bl]); i++ {
+		xs := b.flower[bl][i]
+		b.s[xs] = -1
+		b.setSlack(xs)
+	}
+	b.st[bl] = 0
+}
+
+func (b *blossomSolver) onFoundEdge(e edge) bool {
+	u := b.st[e.u]
+	v := b.st[e.v]
+	switch b.s[v] {
+	case -1:
+		b.pa[v] = e.u
+		b.s[v] = 1
+		nu := b.st[b.match[v]]
+		b.slack[v] = 0
+		b.slack[nu] = 0
+		b.s[nu] = 0
+		b.qPush(nu)
+	case 0:
+		lca := b.getLCA(u, v)
+		if lca == 0 {
+			b.augment(u, v)
+			b.augment(v, u)
+			return true
+		}
+		b.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+// matchingPhase grows alternating trees from every free vertex, adjusting
+// dual variables until an augmenting path is found (true) or the duals
+// prove the matching maximum (false).
+func (b *blossomSolver) matchingPhase() bool {
+	for x := 1; x <= b.nx; x++ {
+		b.s[x] = -1
+		b.slack[x] = 0
+	}
+	b.q = b.q[:0]
+	for x := 1; x <= b.nx; x++ {
+		if b.st[x] == x && b.match[x] == 0 {
+			b.pa[x] = 0
+			b.s[x] = 0
+			b.qPush(x)
+		}
+	}
+	if len(b.q) == 0 {
+		return false
+	}
+	for {
+		for len(b.q) > 0 {
+			u := b.q[0]
+			b.q = b.q[1:]
+			if b.s[b.st[u]] == 1 {
+				continue
+			}
+			for v := 1; v <= b.n; v++ {
+				if b.g[u][v].w > 0 && b.st[u] != b.st[v] {
+					if b.eDelta(b.g[u][v]) == 0 {
+						if b.onFoundEdge(b.g[u][v]) {
+							return true
+						}
+					} else {
+						b.updateSlack(u, b.st[v])
+					}
+				}
+			}
+		}
+		d := int64(inf)
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 {
+				if half := b.lab[bl] / 2; half < d {
+					d = half
+				}
+			}
+		}
+		for x := 1; x <= b.nx; x++ {
+			if b.st[x] == x && b.slack[x] != 0 {
+				delta := b.eDelta(b.g[b.slack[x]][x])
+				switch b.s[x] {
+				case -1:
+					if delta < d {
+						d = delta
+					}
+				case 0:
+					if delta/2 < d {
+						d = delta / 2
+					}
+				}
+			}
+		}
+		for u := 1; u <= b.n; u++ {
+			switch b.s[b.st[u]] {
+			case 0:
+				if b.lab[u] <= d {
+					return false
+				}
+				b.lab[u] -= d
+			case 1:
+				b.lab[u] += d
+			}
+		}
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl {
+				switch b.s[bl] {
+				case 0:
+					b.lab[bl] += 2 * d
+				case 1:
+					b.lab[bl] -= 2 * d
+				}
+			}
+		}
+		b.q = b.q[:0]
+		for x := 1; x <= b.nx; x++ {
+			if b.st[x] == x && b.slack[x] != 0 && b.st[b.slack[x]] != x &&
+				b.eDelta(b.g[b.slack[x]][x]) == 0 {
+				if b.onFoundEdge(b.g[b.slack[x]][x]) {
+					return true
+				}
+			}
+		}
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 && b.lab[bl] == 0 {
+				b.expandBlossom(bl)
+			}
+		}
+	}
+}
+
+// solve runs augmentation phases to completion and returns the 1-based mate
+// array (0 = unmatched).
+func (b *blossomSolver) solve() []int {
+	b.nx = b.n
+	for u := 0; u <= b.n; u++ {
+		b.st[u] = u
+		b.flower[u] = nil
+	}
+	var wMax int64
+	for u := 1; u <= b.n; u++ {
+		for v := 1; v <= b.n; v++ {
+			if u == v {
+				b.flowerFr[u][v] = u
+			} else {
+				b.flowerFr[u][v] = 0
+			}
+			if b.g[u][v].w > wMax {
+				wMax = b.g[u][v].w
+			}
+		}
+	}
+	for u := 1; u <= b.n; u++ {
+		b.lab[u] = wMax
+	}
+	for b.matchingPhase() {
+	}
+	return b.match[:b.n+1]
+}

@@ -1,0 +1,254 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, n int, maxW int64) [][]int64 {
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Int63n(maxW + 1)
+			w[i][j], w[j][i] = v, v
+		}
+	}
+	return w
+}
+
+func checkPerfect(t *testing.T, mate []int, n int) {
+	t.Helper()
+	if len(mate) != n {
+		t.Fatalf("mate has %d entries, want %d", len(mate), n)
+	}
+	for i, j := range mate {
+		if j < 0 || j >= n || j == i {
+			t.Fatalf("vertex %d has invalid mate %d", i, j)
+		}
+		if mate[j] != i {
+			t.Fatalf("mate not symmetric: mate[%d]=%d but mate[%d]=%d", i, j, j, mate[j])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if err := Validate([][]int64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}}); err != ErrOddVertices {
+		t.Errorf("odd matrix: got %v, want ErrOddVertices", err)
+	}
+	if err := Validate([][]int64{{0, 1}, {2, 0}}); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if err := Validate([][]int64{{0, -1}, {-1, 0}}); err == nil {
+		t.Error("negative weights accepted")
+	}
+	if err := Validate([][]int64{{0, 1}, {1, 0}}); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	if err := Validate([][]int64{{0, 1}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestTwoVertices(t *testing.T) {
+	w := [][]int64{{0, 7}, {7, 0}}
+	mate, weight, err := MaxWeightPerfectMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPerfect(t, mate, 2)
+	if weight != 7 {
+		t.Errorf("weight = %d, want 7", weight)
+	}
+}
+
+func TestKnownFourVertexInstance(t *testing.T) {
+	// Pairs (0,1) and (2,3) weigh 10+9=19; the alternatives weigh
+	// 1+2=3 and 5+5=10.
+	w := [][]int64{
+		{0, 10, 1, 5},
+		{10, 0, 5, 2},
+		{1, 5, 0, 9},
+		{5, 2, 9, 0},
+	}
+	mate, weight, err := MaxWeightPerfectMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPerfect(t, mate, 4)
+	if weight != 19 {
+		t.Errorf("weight = %d, want 19", weight)
+	}
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Errorf("mate = %v, want 0-1 and 2-3", mate)
+	}
+}
+
+// TestBlossomAgainstDP cross-checks the blossom solver against the exact
+// bitmask DP on many random instances, including small weight ranges that
+// force ties and blossom formation.
+func TestBlossomAgainstDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := 0
+	for _, n := range []int{2, 4, 6, 8, 10, 12} {
+		for _, maxW := range []int64{1, 2, 3, 10, 1000, 1 << 30} {
+			iters := 60
+			if n >= 10 {
+				iters = 25
+			}
+			for k := 0; k < iters; k++ {
+				w := randMatrix(rng, n, maxW)
+				mate, got, err := MaxWeightPerfectMatching(w)
+				if err != nil {
+					t.Fatalf("n=%d maxW=%d: %v", n, maxW, err)
+				}
+				checkPerfect(t, mate, n)
+				if MatchingWeight(w, mate) != got {
+					t.Fatalf("n=%d: reported weight %d != recomputed %d", n, got, MatchingWeight(w, mate))
+				}
+				_, want, err := ExactDP(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("n=%d maxW=%d case %d: blossom=%d dp=%d\nw=%v", n, maxW, k, got, want, w)
+				}
+				cases++
+			}
+		}
+	}
+	t.Logf("verified %d random instances", cases)
+}
+
+// TestDPAgainstBruteForce anchors the DP itself against exhaustive search.
+func TestDPAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 6, 8} {
+		for k := 0; k < 40; k++ {
+			w := randMatrix(rng, n, 50)
+			_, dp, err := ExactDP(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, bf, err := BruteForce(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dp != bf {
+				t.Fatalf("n=%d: dp=%d brute=%d w=%v", n, dp, bf, w)
+			}
+		}
+	}
+}
+
+// TestGreedyNeverBeatsOptimal is the sanity property of the ablation
+// baseline: greedy weight <= optimal weight, and greedy matchings are
+// perfect.
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 100; k++ {
+		n := 2 * (1 + rng.Intn(5))
+		w := randMatrix(rng, n, 100)
+		gm, gw, err := Greedy(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPerfect(t, gm, n)
+		_, opt, err := ExactDP(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gw > opt {
+			t.Fatalf("greedy %d beats optimal %d: w=%v", gw, opt, w)
+		}
+	}
+}
+
+// TestBlossomLargerInstances exercises instance sizes beyond the DP range
+// and checks basic invariants plus superiority over greedy.
+func TestBlossomLargerInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{16, 32, 64} {
+		w := randMatrix(rng, n, 10000)
+		mate, weight, err := MaxWeightPerfectMatching(w)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkPerfect(t, mate, n)
+		_, gw, err := Greedy(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weight < gw {
+			t.Errorf("n=%d: blossom weight %d below greedy %d", n, weight, gw)
+		}
+	}
+}
+
+// TestBlossomZeroMatrix: a matrix of all zeros still yields a perfect
+// matching (the homogeneous-communication case: any mapping is as good as
+// any other, but the mapper must still produce one).
+func TestBlossomZeroMatrix(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, n)
+		}
+		mate, weight, err := MaxWeightPerfectMatching(w)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkPerfect(t, mate, n)
+		if weight != 0 {
+			t.Errorf("n=%d: weight = %d, want 0", n, weight)
+		}
+	}
+}
+
+// TestBlossomPropertyQuick uses testing/quick to fuzz 8-vertex instances.
+func TestBlossomPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randMatrix(rng, 8, 6) // tiny weights provoke ties and blossoms
+		mate, got, err := MaxWeightPerfectMatching(w)
+		if err != nil {
+			return false
+		}
+		for i, j := range mate {
+			if j < 0 || j >= 8 || mate[j] != i || j == i {
+				return false
+			}
+		}
+		_, want, err := ExactDP(w)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBlossom8(b *testing.B) { benchBlossom(b, 8) }
+
+func BenchmarkBlossom32(b *testing.B) { benchBlossom(b, 32) }
+
+func BenchmarkBlossom128(b *testing.B) { benchBlossom(b, 128) }
+
+func benchBlossom(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(3))
+	w := randMatrix(rng, n, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxWeightPerfectMatching(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

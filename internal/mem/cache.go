@@ -1,0 +1,226 @@
+// Package mem implements the simulated memory hierarchy of Figure 3 and
+// Table II: private write-through L1 data caches, L2 caches shared by core
+// pairs with a MESI write-back protocol, and a snooping interconnect whose
+// latency depends on whether a transfer stays inside a chip or crosses the
+// front-side bus.
+//
+// The package exposes exactly the events the paper measures in Section VI-B:
+// cache-line invalidations, snoop transactions (cache-to-cache transfers),
+// and L2 misses, plus the intra-/inter-chip traffic split motivating
+// Section III-A2.
+package mem
+
+import (
+	"fmt"
+)
+
+// LineShift is log2 of the cache line size (64-byte lines, Table II).
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << LineShift
+
+// Line is a physical cache-line number (physical address >> LineShift).
+type Line uint64
+
+// MESIState is the coherence state of a cached line.
+type MESIState uint8
+
+// The four MESI states.
+const (
+	Invalid MESIState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// CacheConfig describes the geometry and latency of one cache level.
+type CacheConfig struct {
+	SizeBytes int    // total capacity
+	Ways      int    // set associativity
+	Latency   uint64 // access latency in cycles
+}
+
+// Lines returns the number of cache lines the configuration holds.
+func (c CacheConfig) Lines() int { return c.SizeBytes / LineSize }
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.Lines() / c.Ways }
+
+// Validate reports whether the geometry is consistent.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: size (%d) and ways (%d) must be positive", c.SizeBytes, c.Ways)
+	}
+	if c.SizeBytes%LineSize != 0 {
+		return fmt.Errorf("mem: size %d not a multiple of the %d-byte line", c.SizeBytes, LineSize)
+	}
+	if c.Lines()%c.Ways != 0 {
+		return fmt.Errorf("mem: %d lines not divisible by %d ways", c.Lines(), c.Ways)
+	}
+	return nil
+}
+
+// Table II configurations.
+var (
+	// DefaultL1Config: 32 KiB, 4-way, 2-cycle, write-through.
+	DefaultL1Config = CacheConfig{SizeBytes: 32 << 10, Ways: 4, Latency: 2}
+	// DefaultL2Config: 6 MiB, 8-way, 8-cycle, write-back MESI, shared by
+	// two cores.
+	DefaultL2Config = CacheConfig{SizeBytes: 6 << 20, Ways: 8, Latency: 8}
+)
+
+// cacheEntry is one way of one set.
+type cacheEntry struct {
+	line  Line
+	state MESIState
+	lru   uint64
+}
+
+// Cache is a set-associative cache with per-line MESI state and LRU
+// replacement. It is used for both L1s (which only ever hold lines in
+// Shared state because they are write-through) and L2s.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheEntry
+	clock uint64
+}
+
+// NewCache builds an empty cache; it panics on an invalid configuration,
+// which indicates a broken preset.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]cacheEntry, cfg.Sets())
+	backing := make([]cacheEntry, cfg.Lines())
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) setOf(l Line) int { return int(uint64(l) % uint64(c.cfg.Sets())) }
+
+// Lookup returns the MESI state of a line, refreshing its LRU position on a
+// hit. Invalid means a miss.
+func (c *Cache) Lookup(l Line) MESIState {
+	c.clock++
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].lru = c.clock
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Probe returns the state of a line without touching LRU state — the
+// snooping path, which must not disturb the replacement order of the
+// snooped cache.
+func (c *Cache) Probe(l Line) MESIState {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// SetState transitions the state of a resident line (e.g. on a snoop
+// downgrade M→S or an invalidation →I). It reports whether the line was
+// resident.
+func (c *Cache) SetState(l Line, s MESIState) bool {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			if s == Invalid {
+				set[i].state = Invalid
+			} else {
+				set[i].state = s
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	Line     Line
+	State    MESIState // Modified means a write-back is required
+	Happened bool
+}
+
+// Insert installs a line in the given state, evicting the LRU way of its
+// set if necessary, and returns the eviction (if any). Inserting a line
+// that is already resident just updates its state and LRU position.
+func (c *Cache) Insert(l Line, s MESIState) Eviction {
+	c.clock++
+	set := c.sets[c.setOf(l)]
+	victim := -1
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].state = s
+			set[i].lru = c.clock
+			return Eviction{}
+		}
+		if set[i].state == Invalid && victim == -1 {
+			victim = i
+		}
+	}
+	var ev Eviction
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		ev = Eviction{Line: set[victim].line, State: set[victim].state, Happened: true}
+	}
+	set[victim] = cacheEntry{line: l, state: s, lru: c.clock}
+	return ev
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, e := range set {
+			if e.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line without write-backs (test helper).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].state = Invalid
+		}
+	}
+}

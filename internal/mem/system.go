@@ -1,0 +1,349 @@
+package mem
+
+import (
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/topology"
+)
+
+// MemLatency is the simulated main-memory access latency in cycles.
+const MemLatency = 200
+
+// FSBOccupancy is the number of cycles one inter-chip coherence transaction
+// occupies the shared front-side bus. All off-chip traffic — memory fills
+// and cross-chip coherence — serializes on this bus, so a placement that
+// generates heavy inter-chip traffic steals bus bandwidth from everyone and
+// every bus user pays queueing delay — the "improving the use of
+// interconnections" objective of Section III-A2.
+const FSBOccupancy = 90
+
+// MemOccupancy is the number of cycles one 64-byte memory fill occupies the
+// front-side bus.
+const MemOccupancy = 40
+
+// RemoteMemPenalty is the extra latency, in cycles, of a memory fill served
+// by a remote NUMA node (NUMA extension; never charged on UMA machines).
+const RemoteMemPenalty = 120
+
+// System is the coherent memory hierarchy of the simulated machine: one
+// private write-through L1 data cache per core, one write-back MESI L2 per
+// L2 sharing domain (a core pair on Harpertown), and a snooping interconnect
+// among the L2s.
+//
+// Instruction caches are not modelled: as Section III-A1 notes, only data
+// accesses matter for thread mapping, since code pages are effectively
+// read-only after load.
+//
+// System is not safe for concurrent use; the simulation engine serializes
+// all accesses.
+type System struct {
+	machine *topology.Machine
+	l1s     []*Cache // per core
+	l2s     []*Cache // per L2 domain
+	// domainCores[d] lists the cores sharing L2 domain d.
+	domainCores [][]int
+	// domainRep[d] is a representative core of domain d, for latency
+	// queries between a requesting core and a supplying domain.
+	domainRep []int
+	ctr       []*metrics.Counters // per core
+
+	// fsbFreeAt is the cycle at which the shared front-side bus becomes
+	// free; inter-chip transactions queue behind it.
+	fsbFreeAt uint64
+
+	// frameNode records which NUMA node each physical frame's memory
+	// lives on (NUMA extension; nil map entries default to node 0).
+	// Only consulted on machines with NUMA nodes.
+	frameNode map[uint64]int
+	numa      bool
+
+	l1cfg, l2cfg CacheConfig
+}
+
+// NewSystem builds the hierarchy for a machine using the given cache
+// geometries (use DefaultL1Config/DefaultL2Config for Table II).
+func NewSystem(m *topology.Machine, l1cfg, l2cfg CacheConfig) *System {
+	n := m.NumCores()
+	numDomains := 0
+	for c := 0; c < n; c++ {
+		if d := m.L2Domain(c); d+1 > numDomains {
+			numDomains = d + 1
+		}
+	}
+	s := &System{
+		machine:     m,
+		l1s:         make([]*Cache, n),
+		l2s:         make([]*Cache, numDomains),
+		domainCores: make([][]int, numDomains),
+		domainRep:   make([]int, numDomains),
+		ctr:         make([]*metrics.Counters, n),
+		l1cfg:       l1cfg,
+		l2cfg:       l2cfg,
+	}
+	for c := 0; c < n; c++ {
+		s.l1s[c] = NewCache(l1cfg)
+		s.ctr[c] = &metrics.Counters{}
+		d := m.L2Domain(c)
+		s.domainCores[d] = append(s.domainCores[d], c)
+	}
+	for d := 0; d < numDomains; d++ {
+		s.l2s[d] = NewCache(l2cfg)
+		s.domainRep[d] = s.domainCores[d][0]
+	}
+	s.numa = m.NUMANode(0) >= 0
+	if s.numa {
+		s.frameNode = make(map[uint64]int)
+	}
+	return s
+}
+
+// PlaceFrame records the NUMA node a physical frame's memory lives on.
+// The engine calls it when a page is first walked, using the configured
+// data-placement policy. It is a no-op on UMA machines.
+func (s *System) PlaceFrame(frame uint64, node int) {
+	if s.numa {
+		s.frameNode[frame] = node
+	}
+}
+
+// NUMA reports whether the machine has NUMA nodes.
+func (s *System) NUMA() bool { return s.numa }
+
+// memFill charges one memory access by core for line l: bus occupancy,
+// base DRAM latency, and — on NUMA machines — the remote-node penalty,
+// with the local/remote split counted.
+func (s *System) memFill(ctr *metrics.Counters, core int, l Line, now uint64) uint64 {
+	lat := s.fsbAcquireFor(now, MemOccupancy)
+	lat += MemLatency
+	if s.numa {
+		frame := uint64(l) >> 6 // LineShift == 6, PageShift == 12
+		if s.frameNode[frame] == s.machine.NUMANode(core) {
+			ctr.Inc(metrics.LocalMemAccesses)
+		} else {
+			ctr.Inc(metrics.RemoteMemAccesses)
+			lat += RemoteMemPenalty
+		}
+	}
+	return lat
+}
+
+// Counters returns the per-core counter bank (live; not a copy).
+func (s *System) Counters(core int) *metrics.Counters { return s.ctr[core] }
+
+// TotalCounters returns the sum of all per-core banks.
+func (s *System) TotalCounters() metrics.Counters {
+	var total metrics.Counters
+	for _, c := range s.ctr {
+		total.Merge(c)
+	}
+	return total
+}
+
+// L1 exposes a core's L1 cache (tests and inspection).
+func (s *System) L1(core int) *Cache { return s.l1s[core] }
+
+// L2 exposes a domain's L2 cache (tests and inspection).
+func (s *System) L2(domain int) *Cache { return s.l2s[domain] }
+
+// NumDomains returns the number of L2 sharing domains.
+func (s *System) NumDomains() int { return len(s.l2s) }
+
+// Read simulates a data load of the given physical line by a core at the
+// given cycle and returns the latency in cycles. now is the requesting
+// core's clock; it orders transactions on the shared front-side bus.
+func (s *System) Read(core int, l Line, now uint64) uint64 {
+	ctr := s.ctr[core]
+	if s.l1s[core].Lookup(l) != Invalid {
+		ctr.Inc(metrics.L1Hits)
+		return s.l1cfg.Latency
+	}
+	ctr.Inc(metrics.L1Misses)
+	lat := s.l1cfg.Latency + s.l2cfg.Latency
+
+	d := s.machine.L2Domain(core)
+	l2 := s.l2s[d]
+	if l2.Lookup(l) != Invalid {
+		ctr.Inc(metrics.L2Hits)
+	} else {
+		ctr.Inc(metrics.L2Misses)
+		lat += s.fetchLine(core, d, l, now, false)
+	}
+	// Fill the L1; write-through L1s never hold dirty data, so the
+	// eviction is silent.
+	s.l1s[core].Insert(l, Shared)
+	return lat
+}
+
+// Write simulates a data store of the given physical line by a core at the
+// given cycle and returns the latency in cycles. L1s are write-through with
+// no-write-allocate; L2s are write-back MESI.
+func (s *System) Write(core int, l Line, now uint64) uint64 {
+	ctr := s.ctr[core]
+	l1Hit := s.l1s[core].Lookup(l) != Invalid
+	if l1Hit {
+		ctr.Inc(metrics.L1Hits)
+	} else {
+		ctr.Inc(metrics.L1Misses)
+	}
+	lat := s.l1cfg.Latency + s.l2cfg.Latency
+
+	d := s.machine.L2Domain(core)
+	l2 := s.l2s[d]
+	switch l2.Lookup(l) {
+	case Modified:
+		// Already owned; nothing to do.
+	case Exclusive:
+		l2.SetState(l, Modified)
+	case Shared:
+		// Upgrade: invalidate every remote copy (the MESI invalidation
+		// storm of Section III-A1 that a good mapping minimizes).
+		lat += s.invalidateRemote(core, d, l, now)
+		l2.SetState(l, Modified)
+	case Invalid:
+		ctr.Inc(metrics.L2Misses)
+		lat += s.fetchLine(core, d, l, now, true)
+	}
+
+	// Keep sibling L1s inside the same L2 domain coherent: a store by one
+	// core invalidates the line in the other core's private L1.
+	for _, peer := range s.domainCores[d] {
+		if peer != core && s.l1s[peer].SetState(l, Invalid) {
+			ctr.Inc(metrics.Invalidations)
+		}
+	}
+	return lat
+}
+
+// fetchLine resolves an L2 miss over the snooping interconnect. exclusive
+// selects a BusRdX (write miss: remote copies are invalidated) versus a
+// BusRd (read miss: remote copies are downgraded to Shared). It returns the
+// extra latency beyond the L2 access and installs the line in the
+// requester's L2.
+func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) uint64 {
+	ctr := s.ctr[core]
+	var lat uint64
+	supplier := -1
+	var supplierState MESIState
+	for d2 := range s.l2s {
+		if d2 == d {
+			continue
+		}
+		st := s.l2s[d2].Probe(l)
+		if st == Invalid {
+			continue
+		}
+		if supplier == -1 || st == Modified {
+			supplier, supplierState = d2, st
+		}
+		if exclusive {
+			// Invalidate every holder on a write miss.
+			s.invalidateDomain(ctr, d2, l)
+		} else if st != Shared {
+			// Downgrade E/M to S on a read miss; a Modified supplier
+			// writes the dirty line back as part of the transfer.
+			if st == Modified {
+				ctr.Inc(metrics.MemoryWrites)
+			}
+			s.l2s[d2].SetState(l, Shared)
+		}
+	}
+
+	newState := Exclusive
+	if exclusive {
+		newState = Modified
+	} else if supplier >= 0 {
+		newState = Shared
+	}
+
+	if supplier >= 0 {
+		// Cache-to-cache transfer: the snoop transaction of Figure 8.
+		ctr.Inc(metrics.SnoopTransactions)
+		rep := s.domainRep[supplier]
+		lat += s.machine.Latency(core, rep)
+		if s.machine.SameChip(core, rep) {
+			ctr.Inc(metrics.IntraChipTraffic)
+		} else {
+			ctr.Inc(metrics.InterChipTraffic)
+			lat += s.fsbAcquire(now + lat)
+		}
+		_ = supplierState
+	} else {
+		ctr.Inc(metrics.MemoryReads)
+		lat += s.memFill(ctr, core, l, now+lat)
+	}
+
+	ev := s.l2s[d].Insert(l, newState)
+	if ev.Happened {
+		if ev.State == Modified {
+			ctr.Inc(metrics.MemoryWrites)
+		}
+		// Enforce inclusion: drop the evicted line from the domain's L1s.
+		for _, peer := range s.domainCores[d] {
+			s.l1s[peer].SetState(ev.Line, Invalid)
+		}
+	}
+	return lat
+}
+
+// invalidateRemote invalidates the line in every other L2 domain (and the
+// L1s above them), counting one invalidation per dropped cache line, and
+// returns the interconnect latency of the farthest invalidation plus any
+// front-side-bus queueing delay.
+func (s *System) invalidateRemote(core, d int, l Line, now uint64) uint64 {
+	ctr := s.ctr[core]
+	var lat uint64
+	crossChip := false
+	for d2 := range s.l2s {
+		if d2 == d {
+			continue
+		}
+		if s.l2s[d2].Probe(l) == Invalid {
+			continue
+		}
+		s.invalidateDomain(ctr, d2, l)
+		rep := s.domainRep[d2]
+		if cost := s.machine.Latency(core, rep); cost > lat {
+			lat = cost
+		}
+		if s.machine.SameChip(core, rep) {
+			ctr.Inc(metrics.IntraChipTraffic)
+		} else {
+			ctr.Inc(metrics.InterChipTraffic)
+			crossChip = true
+		}
+	}
+	if crossChip {
+		lat += s.fsbAcquire(now + lat)
+	}
+	return lat
+}
+
+// fsbAcquire reserves the shared front-side bus for one inter-chip
+// coherence transaction starting no earlier than now, returning the
+// queueing delay the requester suffers if the bus is still busy.
+func (s *System) fsbAcquire(now uint64) uint64 {
+	return s.fsbAcquireFor(now, FSBOccupancy)
+}
+
+// fsbAcquireFor reserves the bus for a transaction of the given occupancy.
+func (s *System) fsbAcquireFor(now, occupancy uint64) uint64 {
+	var wait uint64
+	if s.fsbFreeAt > now {
+		wait = s.fsbFreeAt - now
+		now = s.fsbFreeAt
+	}
+	s.fsbFreeAt = now + occupancy
+	return wait
+}
+
+// invalidateDomain drops a line from one L2 domain and its L1s, counting
+// each dropped copy as a coherence invalidation.
+func (s *System) invalidateDomain(ctr *metrics.Counters, d2 int, l Line) {
+	if s.l2s[d2].SetState(l, Invalid) {
+		ctr.Inc(metrics.Invalidations)
+	}
+	for _, c2 := range s.domainCores[d2] {
+		if s.l1s[c2].SetState(l, Invalid) {
+			ctr.Inc(metrics.Invalidations)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventString(t *testing.T) {
+	cases := map[Event]string{
+		Invalidations:     "invalidations",
+		SnoopTransactions: "snoop_transactions",
+		L2Misses:          "l2_misses",
+		TLBMisses:         "tlb_misses",
+		DetectionCycles:   "detection_cycles",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("Event(%d).String() = %q, want %q", int(e), got, want)
+		}
+	}
+	if got := Event(-1).String(); !strings.Contains(got, "event") {
+		t.Errorf("invalid event string = %q", got)
+	}
+	if got := Event(NumEvents).String(); !strings.Contains(got, "event") {
+		t.Errorf("out-of-range event string = %q", got)
+	}
+}
+
+func TestCountersAddIncGet(t *testing.T) {
+	var c Counters
+	if c.Get(L2Misses) != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc(L2Misses)
+	c.Add(L2Misses, 4)
+	if got := c.Get(L2Misses); got != 5 {
+		t.Errorf("Get = %d, want 5", got)
+	}
+	if c.Get(L2Hits) != 0 {
+		t.Error("unrelated counter affected")
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	var c Counters
+	for i := 0; i < NumEvents; i++ {
+		c.Add(Event(i), uint64(i+1))
+	}
+	c.Reset()
+	for i := 0; i < NumEvents; i++ {
+		if c.Get(Event(i)) != 0 {
+			t.Errorf("event %v not reset", Event(i))
+		}
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add(Invalidations, 3)
+	b.Add(Invalidations, 4)
+	b.Add(SnoopTransactions, 7)
+	a.Merge(&b)
+	if got := a.Get(Invalidations); got != 7 {
+		t.Errorf("merged invalidations = %d, want 7", got)
+	}
+	if got := a.Get(SnoopTransactions); got != 7 {
+		t.Errorf("merged snoops = %d, want 7", got)
+	}
+	// b untouched.
+	if b.Get(Invalidations) != 4 {
+		t.Error("merge modified source")
+	}
+}
+
+func TestCountersDiff(t *testing.T) {
+	var base, cur Counters
+	base.Add(L1Hits, 10)
+	cur.Add(L1Hits, 25)
+	cur.Add(L1Misses, 5)
+	d := cur.Diff(&base)
+	if d.Get(L1Hits) != 15 || d.Get(L1Misses) != 5 {
+		t.Errorf("diff = %v", d.Map())
+	}
+	// Saturates instead of wrapping.
+	d2 := base.Diff(&cur)
+	if d2.Get(L1Hits) != 0 {
+		t.Errorf("negative diff should saturate, got %d", d2.Get(L1Hits))
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	var c Counters
+	c.Add(TLBMisses, 2)
+	snap := c.Snapshot()
+	c.Add(TLBMisses, 3)
+	if snap.Get(TLBMisses) != 2 {
+		t.Error("snapshot aliases the original")
+	}
+}
+
+func TestCountersMapAndString(t *testing.T) {
+	var c Counters
+	c.Add(L2Misses, 9)
+	m := c.Map()
+	if len(m) != NumEvents {
+		t.Errorf("Map has %d entries, want %d", len(m), NumEvents)
+	}
+	if m["l2_misses"] != 9 {
+		t.Errorf("Map[l2_misses] = %d", m["l2_misses"])
+	}
+	s := c.String()
+	if !strings.Contains(s, "l2_misses=9") {
+		t.Errorf("String() = %q", s)
+	}
+	var empty Counters
+	if empty.String() != "" {
+		t.Errorf("empty String() = %q", empty.String())
+	}
+}
+
+func TestSharedCountersConcurrent(t *testing.T) {
+	var s SharedCounters
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Inc(SnoopTransactions)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(SnoopTransactions); got != workers*each {
+		t.Errorf("concurrent count = %d, want %d", got, workers*each)
+	}
+	snap := s.Snapshot()
+	if snap.Get(SnoopTransactions) != workers*each {
+		t.Error("snapshot mismatch")
+	}
+	s.Reset()
+	if s.Get(SnoopTransactions) != 0 {
+		t.Error("reset failed")
+	}
+}

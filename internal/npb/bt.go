@@ -1,0 +1,147 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "BT",
+		Description: "Block tridiagonal ADI solver on a 3-D grid, 1-D domain decomposition in z",
+		Expected:    DomainDecomposition,
+		Build:       buildBT,
+	})
+}
+
+// buildBT constructs the BT kernel: an alternating-direction-implicit
+// solver. Each iteration computes a 7-point-stencil right-hand side (whose
+// z-neighbours cross slab boundaries — the source of the neighbour
+// communication in Figure 4), then performs Thomas-algorithm line solves
+// along x, y and z, and finally applies the update.
+func buildBT(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var nz, ny, nx, iters int
+	switch p.Class {
+	case ClassS:
+		nz, ny, nx, iters = 16, 16, 16, 2
+	default:
+		nz, ny, nx, iters = 64, 40, 40, 2
+	}
+	u := trace.NewGrid3(as, nz, ny, nx)
+	rhs := trace.NewGrid3(as, nz, ny, nx)
+	forcing := trace.NewGrid3(as, nz, ny, nx)
+	rng := newLCG(p.Seed)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u.Poke(z, y, x, 1+rng.float64())
+				forcing.Poke(z, y, x, 0.01*rng.float64())
+			}
+		}
+	}
+
+	n := p.Threads
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(nz, n, id)
+		for it := 0; it < iters; it++ {
+			// RHS: central-difference stencil. Reading z-1/z+1 at the
+			// slab edges touches the neighbouring thread's planes.
+			for z := lo; z < hi; z++ {
+				zm, zp := clamp(z-1, nz), clamp(z+1, nz)
+				for y := 0; y < ny; y++ {
+					ym, yp := clamp(y-1, ny), clamp(y+1, ny)
+					for x := 0; x < nx; x++ {
+						xm, xp := clamp(x-1, nx), clamp(x+1, nx)
+						c := u.Get(t, z, y, x)
+						s := u.Get(t, zm, y, x) + u.Get(t, zp, y, x) +
+							u.Get(t, z, ym, x) + u.Get(t, z, yp, x) +
+							u.Get(t, z, y, xm) + u.Get(t, z, y, xp)
+						rhs.Set(t, z, y, x, 0.1*(s-6*c)+forcing.Get(t, z, y, x))
+						t.Compute(10)
+					}
+				}
+			}
+			t.Barrier()
+
+			// x-solve: forward elimination and back substitution along
+			// each x line of the slab (thread-local).
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 1; x < nx; x++ {
+						prev := rhs.Get(t, z, y, x-1)
+						rhs.Add(t, z, y, x, 0.25*prev)
+						t.Compute(4)
+					}
+					for x := nx - 2; x >= 0; x-- {
+						next := rhs.Get(t, z, y, x+1)
+						rhs.Add(t, z, y, x, -0.2*next)
+						t.Compute(4)
+					}
+				}
+			}
+			t.Barrier()
+
+			// y-solve: the same line solve along y (thread-local).
+			for z := lo; z < hi; z++ {
+				for x := 0; x < nx; x++ {
+					for y := 1; y < ny; y++ {
+						prev := rhs.Get(t, z, y-1, x)
+						rhs.Add(t, z, y, x, 0.25*prev)
+						t.Compute(4)
+					}
+					for y := ny - 2; y >= 0; y-- {
+						next := rhs.Get(t, z, y+1, x)
+						rhs.Add(t, z, y, x, -0.2*next)
+						t.Compute(4)
+					}
+				}
+			}
+			t.Barrier()
+
+			// z-solve within the slab, coupling to the plane below the
+			// slab (the neighbouring thread's data), then the update.
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					for z := lo; z < hi; z++ {
+						zm := clamp(z-1, nz)
+						prev := rhs.Get(t, zm, y, x)
+						rhs.Add(t, z, y, x, 0.25*prev)
+						t.Compute(4)
+					}
+				}
+			}
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						d := rhs.Get(t, z, y, x)
+						u.Add(t, z, y, x, d)
+						t.Compute(2)
+					}
+				}
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}
+
+// clamp reflects an index into [0, n) at the global domain boundary.
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func spmd(n int, body trace.Program) []trace.Program {
+	progs := make([]trace.Program, n)
+	for i := range progs {
+		progs[i] = body
+	}
+	return progs
+}

@@ -1,0 +1,122 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "CG",
+		Description: "Conjugate gradient with a random sparse matrix; the shared source vector makes the pattern homogeneous",
+		Expected:    Homogeneous,
+		Build:       buildCG,
+	})
+}
+
+// buildCG constructs the CG kernel: conjugate-gradient iterations on a
+// random sparse matrix in CSR form, rows partitioned across threads. The
+// sparse matrix-vector product reads the shared vector p at random column
+// positions, so every thread touches pages filled by every other thread —
+// the homogeneous communication pattern of Figure 4. A mild diagonal-band
+// bias in the sparsity leaves the faint domain-decomposition trace the
+// paper observes with SM.
+func buildCG(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var rows, nnzPerRow, iters int
+	switch p.Class {
+	case ClassS:
+		rows, nnzPerRow, iters = 512, 6, 2
+	default:
+		rows, nnzPerRow, iters = 16384, 8, 4
+	}
+	n := p.Threads
+
+	// CSR structure: colidx/values traced (they are data the kernel
+	// streams through), vectors shared.
+	nnz := rows * nnzPerRow
+	colidx := trace.NewI64(as, nnz)
+	values := trace.NewF64(as, nnz)
+	x := trace.NewF64(as, rows)
+	r := trace.NewF64(as, rows)
+	pv := trace.NewF64(as, rows) // search direction, the heavily shared vector
+	q := trace.NewF64(as, rows)
+	// Shared reduction cells, one per thread, on a single page: the dot
+	// products of CG. Sharing one page is exactly the (page-level)
+	// communication a reduction produces.
+	red := trace.NewF64(as, n)
+
+	rng := newLCG(p.Seed)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			var col int
+			if k < nnzPerRow/2 {
+				// Banded half: near the diagonal (faint DD trace).
+				col = clamp(i-nnzPerRow+rng.intn(2*nnzPerRow), rows)
+			} else {
+				// Uniform half: anywhere in the vector (homogeneous).
+				col = rng.intn(rows)
+			}
+			colidx.Poke(i*nnzPerRow+k, int64(col))
+			values.Poke(i*nnzPerRow+k, rng.float64())
+		}
+		x.Poke(i, 0)
+		r.Poke(i, 1)
+		pv.Poke(i, 1)
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(rows, n, id)
+		for it := 0; it < iters; it++ {
+			// q = A * p over the thread's rows; the column reads of pv
+			// are the all-threads sharing.
+			for i := lo; i < hi; i++ {
+				var sum float64
+				base := i * nnzPerRow
+				for k := 0; k < nnzPerRow; k++ {
+					col := int(colidx.Get(t, base+k))
+					sum += values.Get(t, base+k) * pv.Get(t, col)
+					t.Compute(4)
+				}
+				q.Set(t, i, sum)
+			}
+			t.Barrier()
+
+			// alpha = (r.r)/(p.q): partial dot products into the shared
+			// reduction page, then every thread reads all partials.
+			var drr, dpq float64
+			for i := lo; i < hi; i++ {
+				ri := r.Get(t, i)
+				drr += ri * ri
+				dpq += pv.Get(t, i) * q.Get(t, i)
+				t.Compute(6)
+			}
+			red.Set(t, id, dpq)
+			t.Barrier()
+			var pq float64
+			for w := 0; w < n; w++ {
+				pq += red.Get(t, w)
+			}
+			alpha := 0.5
+			if pq != 0 {
+				alpha = drr * float64(n) / (pq * float64(n))
+			}
+			t.Barrier()
+
+			// x += alpha*p ; r -= alpha*q ; p = r + beta*p.
+			for i := lo; i < hi; i++ {
+				x.Add(t, i, alpha*pv.Get(t, i))
+				r.Add(t, i, -alpha*q.Get(t, i))
+				t.Compute(6)
+			}
+			t.Barrier()
+			for i := lo; i < hi; i++ {
+				pv.Set(t, i, r.Get(t, i)+0.3*pv.Get(t, i))
+				t.Compute(4)
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

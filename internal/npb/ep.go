@@ -1,0 +1,81 @@
+package npb
+
+import (
+	"math"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "EP",
+		Description: "Embarrassingly parallel Gaussian-pair generation; essentially no sharing",
+		Expected:    Private,
+		Build:       buildEP,
+	})
+}
+
+// buildEP constructs the EP kernel: every thread generates uniform pairs,
+// applies the Marsaglia polar method to obtain Gaussian deviates, and
+// accumulates annulus counts in private arrays; only a ten-element result
+// table is shared at the very end. EP is compute-bound, its private working
+// set fits comfortably in the TLB, and it shares nearly nothing — the paper
+// uses it as the no-benefit control (lowest overhead in Table III, no
+// mapping win in Figures 6-9).
+func buildEP(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var samples int
+	switch p.Class {
+	case ClassS:
+		samples = 1 << 11
+	default:
+		samples = 1 << 14
+	}
+	n := p.Threads
+
+	// Private per-thread state: a buffer of generated deviates and the
+	// annulus counters.
+	bufs := make([]*trace.F64, n)
+	counts := make([]*trace.I64, n)
+	for i := range bufs {
+		bufs[i] = trace.NewF64(as, 512)
+		counts[i] = trace.NewI64(as, 10)
+	}
+	// The only shared data: the global annulus table.
+	global := trace.NewI64(as, 10)
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		rng := newLCG(p.Seed*7919 + int64(id))
+		buf := bufs[id]
+		cnt := counts[id]
+		for s := 0; s < samples; s++ {
+			// Marsaglia polar method (the Gaussian-pair core of NPB EP).
+			x1 := 2*rng.float64() - 1
+			x2 := 2*rng.float64() - 1
+			tt := x1*x1 + x2*x2
+			t.Compute(40) // random number generation + rejection test
+			if tt >= 1 || tt == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(tt) / tt)
+			g1, g2 := x1*f, x2*f
+			t.Compute(60) // sqrt/log
+			buf.Set(t, s%buf.Len(), g1)
+			buf.Set(t, (s+1)%buf.Len(), g2)
+			m := int(math.Max(math.Abs(g1), math.Abs(g2)))
+			if m > 9 {
+				m = 9
+			}
+			cnt.Add(t, m, 1)
+		}
+		t.Barrier()
+		// Final reduction: the only cross-thread communication.
+		for b := 0; b < 10; b++ {
+			global.Add(t, (b+id)%10, cnt.Get(t, b))
+		}
+		t.Barrier()
+	}
+	return spmd(n, body)
+}

@@ -1,0 +1,163 @@
+package npb
+
+import (
+	"math"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "FT",
+		Description: "3-D FFT with a global transpose; the transpose makes the pattern homogeneous all-to-all",
+		Expected:    Homogeneous,
+		Build:       buildFT,
+	})
+}
+
+// buildFT constructs the FT kernel: a 3-D complex FFT with the classic
+// 1-D-decomposed structure — two local FFT dimensions inside each thread's
+// z-slab, then a global transpose that redistributes the slab across every
+// other thread's target region, then the third FFT dimension. The transpose
+// writes are spread uniformly over all threads' future working sets, which
+// is exactly why FT's communication matrix is homogeneous (Figure 4).
+func buildFT(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var nz, ny, nx, iters int
+	switch p.Class {
+	case ClassS:
+		nz, ny, nx, iters = 8, 8, 8, 1
+	default:
+		// nz = 64 makes each thread's z-range in the transposed layout
+		// exactly one 64-byte cache line, mirroring the padding NPB FT
+		// applies to avoid false sharing in its transpose buffers.
+		nz, ny, nx, iters = 64, 16, 32, 1
+	}
+	n := p.Threads
+	// Complex field as separate real/imaginary grids, plus the transpose
+	// target (z and x swapped).
+	re := trace.NewGrid3(as, nz, ny, nx)
+	im := trace.NewGrid3(as, nz, ny, nx)
+	reT := trace.NewGrid3(as, nx, ny, nz)
+	imT := trace.NewGrid3(as, nx, ny, nz)
+
+	rng := newLCG(p.Seed)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				re.Poke(z, y, x, rng.float64())
+				im.Poke(z, y, x, 0)
+			}
+		}
+	}
+
+	// fftLineX runs an in-place iterative radix-2 FFT along the x axis of
+	// (z, y) in the given grids. Every butterfly is four traced loads and
+	// four traced stores.
+	fftLineX := func(t *trace.Thread, gr, gi *trace.Grid3, z, y int) {
+		m := gr.Nx
+		// Bit-reversal permutation.
+		for i, j := 1, 0; i < m; i++ {
+			bit := m >> 1
+			for ; j&bit != 0; bit >>= 1 {
+				j ^= bit
+			}
+			j ^= bit
+			if i < j {
+				a, b := gr.Get(t, z, y, i), gr.Get(t, z, y, j)
+				gr.Set(t, z, y, i, b)
+				gr.Set(t, z, y, j, a)
+				a, b = gi.Get(t, z, y, i), gi.Get(t, z, y, j)
+				gi.Set(t, z, y, i, b)
+				gi.Set(t, z, y, j, a)
+			}
+		}
+		for length := 2; length <= m; length <<= 1 {
+			ang := -2 * math.Pi / float64(length)
+			for i := 0; i < m; i += length {
+				for k := 0; k < length/2; k++ {
+					wr, wi := math.Cos(ang*float64(k)), math.Sin(ang*float64(k))
+					ur, ui := gr.Get(t, z, y, i+k), gi.Get(t, z, y, i+k)
+					vr := gr.Get(t, z, y, i+k+length/2)
+					vi := gi.Get(t, z, y, i+k+length/2)
+					tr := vr*wr - vi*wi
+					ti := vr*wi + vi*wr
+					gr.Set(t, z, y, i+k, ur+tr)
+					gi.Set(t, z, y, i+k, ui+ti)
+					gr.Set(t, z, y, i+k+length/2, ur-tr)
+					gi.Set(t, z, y, i+k+length/2, ui-ti)
+					t.Compute(12)
+				}
+			}
+		}
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(nz, n, id)
+		for it := 0; it < iters; it++ {
+			// Dimension 1: FFT along x for every line of the slab.
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					fftLineX(t, re, im, z, y)
+				}
+			}
+			t.Barrier()
+			// Dimension 2: FFT along y, via a local in-slab transpose of
+			// each xy-plane (swap-based, thread-local).
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := y + 1; x < nx && x < ny; x++ {
+						a, b := re.Get(t, z, y, x), re.Get(t, z, x, y)
+						re.Set(t, z, y, x, b)
+						re.Set(t, z, x, y, a)
+						a, b = im.Get(t, z, y, x), im.Get(t, z, x, y)
+						im.Set(t, z, y, x, b)
+						im.Set(t, z, x, y, a)
+					}
+				}
+				for y := 0; y < ny; y++ {
+					fftLineX(t, re, im, z, y)
+				}
+			}
+			t.Barrier()
+			// Global transpose: scatter the slab into the z<->x swapped
+			// layout. Destination planes belong to every other thread's
+			// next-phase slab — the all-to-all exchange of NPB FT. The
+			// loops walk the *destination* in layout order (as NPB's
+			// buffered transpose does), so the writes stream through the
+			// target pages instead of thrashing the TLB.
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					for z := lo; z < hi; z++ {
+						reT.Set(t, x, y, z, re.Get(t, z, y, x))
+						imT.Set(t, x, y, z, im.Get(t, z, y, x))
+					}
+				}
+			}
+			t.Barrier()
+			// Dimension 3: FFT along the former z axis, now contiguous in
+			// the transposed grids; each thread owns an x-slab of them.
+			tLo, tHi := slab(nx, n, id)
+			for z := tLo; z < tHi; z++ {
+				for y := 0; y < ny; y++ {
+					fftLineX(t, reT, imT, z, y)
+				}
+			}
+			t.Barrier()
+		}
+		// Checksum over a strided sample of the spectrum (shared reads).
+		var sum float64
+		for k := 0; k < 64; k++ {
+			z := (k * 7) % nx
+			y := (k * 5) % ny
+			x := (k * 3) % nz
+			sum += reT.Get(t, z, y, x) + imT.Get(t, z, y, x)
+			t.Compute(4)
+		}
+		_ = sum
+		t.Barrier()
+	}
+	return spmd(n, body)
+}

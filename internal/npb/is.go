@@ -1,0 +1,118 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "IS",
+		Description: "Integer bucket sort with range-partitioned ranking and neighbour spill",
+		Expected:    DomainDecomposition,
+		Build:       buildIS,
+	})
+}
+
+// buildIS constructs the IS kernel: a parallel counting/bucket sort. Each
+// thread generates keys concentrated around its own key range (with spill
+// into the adjacent ranges), histograms them, merges the histograms into a
+// shared global histogram, and finally scatters each key's rank into the
+// shared output array. The scatter writes land mostly in the thread's own
+// range with spill into the neighbours' ranges, giving the
+// domain-decomposition pattern the paper detects for IS — while the
+// scattered accesses over a working set much larger than the TLB reach give
+// IS by far the highest TLB miss rate of the suite (Table III).
+func buildIS(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var keysPerThread, buckets, iters int
+	switch p.Class {
+	case ClassS:
+		keysPerThread, buckets, iters = 1<<10, 1<<6, 1
+	default:
+		keysPerThread, buckets, iters = 1<<14, 1<<10, 1
+	}
+	n := p.Threads
+	totalKeys := keysPerThread * n
+	maxKey := totalKeys // key space as large as the key count
+
+	keys := trace.NewI64(as, totalKeys)  // shared, segment per thread
+	ranks := trace.NewI64(as, totalKeys) // shared output, range-partitioned
+	hist := trace.NewI64(as, buckets)    // shared global histogram
+	local := make([]*trace.I64, n)       // private per-thread histograms
+	for i := range local {
+		local[i] = trace.NewI64(as, buckets)
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		rng := newLCG(p.Seed*1000 + int64(id))
+		keyLo := id * keysPerThread
+		rangeSize := maxKey / n
+		for it := 0; it < iters; it++ {
+			// Key generation: ~70% inside the thread's own key range,
+			// the rest spilling into adjacent ranges (and occasionally
+			// further), mirroring the locality of NPB IS key streams.
+			for k := 0; k < keysPerThread; k++ {
+				var key int
+				switch r := rng.intn(20); {
+				case r < 16: // own range
+					key = id*rangeSize + rng.intn(rangeSize)
+				case r < 19: // adjacent range
+					nb := id + 1 - 2*rng.intn(2)
+					nb = clamp(nb, n)
+					key = nb*rangeSize + rng.intn(rangeSize)
+				default: // anywhere
+					key = rng.intn(maxKey)
+				}
+				keys.Set(t, keyLo+k, int64(key))
+				t.Compute(14)
+			}
+			t.Barrier()
+
+			// Local histogram over the thread's own keys (private data).
+			mine := local[id]
+			for b := 0; b < buckets; b++ {
+				mine.Set(t, b, 0)
+			}
+			for k := 0; k < keysPerThread; k++ {
+				key := keys.Get(t, keyLo+k)
+				mine.Add(t, int(key)*buckets/maxKey, 1)
+				t.Compute(6)
+			}
+			t.Barrier()
+
+			// Merge: each thread accumulates its private histogram into
+			// its share of the global histogram, then every thread reads
+			// the whole global histogram to build the prefix offsets.
+			bLo, bHi := slab(buckets, n, id)
+			for b := bLo; b < bHi; b++ {
+				var sum int64
+				for w := 0; w < n; w++ {
+					sum += local[w].Get(t, b)
+				}
+				hist.Set(t, b, sum)
+				t.Compute(2)
+			}
+			t.Barrier()
+
+			// Rank scatter: compute the destination of a sample of keys
+			// from the global histogram and write their ranks into the
+			// shared output array (NPB IS likewise only ranks keys in the
+			// timed loop; the full key movement happens once at the end).
+			// Destinations follow the key value, so writes stay mostly
+			// inside the thread's own output range, spilling into the
+			// neighbours' ranges.
+			for k := 0; k < keysPerThread; k += 4 {
+				key := keys.Get(t, keyLo+k)
+				b := int(key) * buckets / maxKey
+				base := hist.Get(t, b)
+				dest := (int(key) + int(base)) % totalKeys
+				ranks.Set(t, dest, key)
+				t.Compute(10)
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

@@ -1,0 +1,118 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "LU",
+		Description: "SSOR solver: neighbour boundary exchange plus a wavefront-tail exchange with the mirror thread",
+		Expected:    DomainDecompositionDistant,
+		Build:       buildLU,
+	})
+}
+
+// buildLU constructs the LU kernel: a symmetric successive over-relaxation
+// solver with 1-D domain decomposition in z. The forward (lower-triangular)
+// sweep reads the plane below each slab and the backward (upper-triangular)
+// sweep the plane above it — the usual neighbour communication. On top of
+// that, the pipelined wavefront schedule makes each thread consume the tail
+// planes produced by the thread at the opposite end of the pipeline (thread
+// n-1-id), which reproduces the communication between the most distant
+// threads the paper singles out for LU (Section VI-A).
+func buildLU(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var nz, ny, nx, iters int
+	switch p.Class {
+	case ClassS:
+		nz, ny, nx, iters = 16, 16, 16, 2
+	default:
+		nz, ny, nx, iters = 64, 40, 40, 3
+	}
+	u := trace.NewGrid3(as, nz, ny, nx)
+	rsd := trace.NewGrid3(as, nz, ny, nx)
+	rng := newLCG(p.Seed)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u.Poke(z, y, x, 1+rng.float64())
+				rsd.Poke(z, y, x, rng.float64())
+			}
+		}
+	}
+
+	n := p.Threads
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(nz, n, id)
+		mirror := n - 1 - id
+		mLo, mHi := slab(nz, n, mirror)
+		for it := 0; it < iters; it++ {
+			// Forward SSOR sweep (lower triangular): each plane uses the
+			// freshly updated plane below it; the first plane of a slab
+			// reads the neighbour thread's last plane.
+			for z := lo; z < hi; z++ {
+				zm := clamp(z-1, nz)
+				for y := 0; y < ny; y++ {
+					ym := clamp(y-1, ny)
+					for x := 0; x < nx; x++ {
+						xm := clamp(x-1, nx)
+						v := rsd.Get(t, z, y, x) +
+							0.2*(rsd.Get(t, zm, y, x)+rsd.Get(t, z, ym, x)+rsd.Get(t, z, y, xm))
+						rsd.Set(t, z, y, x, v*0.9)
+						t.Compute(8)
+					}
+				}
+			}
+			t.Barrier()
+
+			// Backward SSOR sweep (upper triangular): each plane uses the
+			// plane above it; the last plane of a slab reads the
+			// neighbour thread's first plane.
+			for z := hi - 1; z >= lo; z-- {
+				zp := clamp(z+1, nz)
+				for y := ny - 1; y >= 0; y-- {
+					yp := clamp(y+1, ny)
+					for x := nx - 1; x >= 0; x-- {
+						xp := clamp(x+1, nx)
+						v := rsd.Get(t, z, y, x) +
+							0.2*(rsd.Get(t, zp, y, x)+rsd.Get(t, z, yp, x)+rsd.Get(t, z, y, xp))
+						rsd.Set(t, z, y, x, v*0.9)
+						t.Compute(8)
+					}
+				}
+			}
+			t.Barrier()
+
+			// Wavefront-tail exchange: consume the last two planes the
+			// mirror thread produced, folding them into this thread's
+			// boundary plane (the distant-thread communication of the
+			// pipelined schedule).
+			for k := 0; k < 2 && mHi-1-k >= mLo; k++ {
+				src := mHi - 1 - k
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						v := rsd.Get(t, src, y, x)
+						rsd.Add(t, lo, y, x, 0.01*v)
+						t.Compute(3)
+					}
+				}
+			}
+			t.Barrier()
+
+			// Solution update.
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						u.Add(t, z, y, x, rsd.Get(t, z, y, x))
+						t.Compute(2)
+					}
+				}
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

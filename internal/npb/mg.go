@@ -1,0 +1,136 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "MG",
+		Description: "Multigrid V-cycle on a 3-D grid hierarchy, z decomposition at every level",
+		Expected:    DomainDecomposition,
+		Build:       buildMG,
+	})
+}
+
+// buildMG constructs the MG kernel: V-cycles over a hierarchy of grids,
+// each level half the size of the one above. Every level is z-decomposed
+// across the threads, so smoothing, restriction and prolongation all read
+// the neighbouring thread's boundary planes; at the coarsest levels each
+// thread owns only one or two planes and nearly everything it reads belongs
+// to a neighbour, amplifying the neighbour pattern.
+func buildMG(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var nz, ny, nx, levels, cycles int
+	switch p.Class {
+	case ClassS:
+		nz, ny, nx, levels, cycles = 16, 16, 16, 2, 1
+	default:
+		nz, ny, nx, levels, cycles = 128, 40, 40, 3, 1
+	}
+	// Grid hierarchy: level 0 is finest.
+	grids := make([]*trace.Grid3, levels)
+	resid := make([]*trace.Grid3, levels)
+	cz, cy, cx := nz, ny, nx
+	for l := 0; l < levels; l++ {
+		grids[l] = trace.NewGrid3(as, cz, cy, cx)
+		resid[l] = trace.NewGrid3(as, cz, cy, cx)
+		cz, cy, cx = cz/2, max2(cy/2, 2), max2(cx/2, 2)
+	}
+	rng := newLCG(p.Seed)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				grids[0].Poke(z, y, x, rng.float64())
+			}
+		}
+	}
+
+	n := p.Threads
+	// smooth runs one Jacobi-style relaxation of level l over the calling
+	// thread's slab, reading the z-neighbour planes.
+	smooth := func(t *trace.Thread, g, r *trace.Grid3) {
+		lo, hi := slab(g.Nz, n, t.ID())
+		for z := lo; z < hi; z++ {
+			zm, zp := clamp(z-1, g.Nz), clamp(z+1, g.Nz)
+			for y := 0; y < g.Ny; y++ {
+				ym, yp := clamp(y-1, g.Ny), clamp(y+1, g.Ny)
+				for x := 0; x < g.Nx; x++ {
+					xm, xp := clamp(x-1, g.Nx), clamp(x+1, g.Nx)
+					s := g.Get(t, zm, y, x) + g.Get(t, zp, y, x) +
+						g.Get(t, z, ym, x) + g.Get(t, z, yp, x) +
+						g.Get(t, z, y, xm) + g.Get(t, z, y, xp)
+					r.Set(t, z, y, x, (s+2*g.Get(t, z, y, x))/8)
+					t.Compute(9)
+				}
+			}
+		}
+		t.Barrier()
+		for z := lo; z < hi; z++ {
+			for y := 0; y < g.Ny; y++ {
+				for x := 0; x < g.Nx; x++ {
+					g.Set(t, z, y, x, r.Get(t, z, y, x))
+					t.Compute(2)
+				}
+			}
+		}
+		t.Barrier()
+	}
+
+	body := func(t *trace.Thread) {
+		for c := 0; c < cycles; c++ {
+			// Downward leg: smooth, then restrict to the next level.
+			for l := 0; l < levels-1; l++ {
+				fine, coarse := grids[l], grids[l+1]
+				smooth(t, fine, resid[l])
+				lo, hi := slab(coarse.Nz, n, t.ID())
+				for z := lo; z < hi; z++ {
+					fz := clamp(2*z, fine.Nz)
+					fz1 := clamp(2*z+1, fine.Nz)
+					for y := 0; y < coarse.Ny; y++ {
+						fy := min(2*y, fine.Ny-1)
+						for x := 0; x < coarse.Nx; x++ {
+							fx := min(2*x, fine.Nx-1)
+							v := 0.5 * (fine.Get(t, fz, fy, fx) + fine.Get(t, fz1, fy, fx))
+							coarse.Set(t, z, y, x, v)
+							t.Compute(4)
+						}
+					}
+				}
+				t.Barrier()
+			}
+			// Bottom solve: extra smoothing at the coarsest level, where
+			// each thread owns very few planes and neighbour sharing
+			// dominates.
+			smooth(t, grids[levels-1], resid[levels-1])
+			smooth(t, grids[levels-1], resid[levels-1])
+			// Upward leg: prolongate and correct, then smooth.
+			for l := levels - 2; l >= 0; l-- {
+				fine, coarse := grids[l], grids[l+1]
+				lo, hi := slab(fine.Nz, n, t.ID())
+				for z := lo; z < hi; z++ {
+					cz := min(z/2, coarse.Nz-1)
+					for y := 0; y < fine.Ny; y++ {
+						cy := min(y/2, coarse.Ny-1)
+						for x := 0; x < fine.Nx; x++ {
+							cx := min(x/2, coarse.Nx-1)
+							fine.Add(t, z, y, x, 0.5*coarse.Get(t, cz, cy, cx))
+							t.Compute(4)
+						}
+					}
+				}
+				t.Barrier()
+				smooth(t, fine, resid[l])
+			}
+		}
+	}
+	return spmd(p.Threads, body)
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+// Package npb implements Go analogues of the nine NAS Parallel Benchmarks
+// used in the paper's evaluation (Section V-C): BT, CG, EP, FT, IS, LU, MG,
+// SP and UA (DC is excluded, as in the paper). Each kernel performs the
+// real computational pattern of its NPB namesake over traced arrays, so the
+// simulator observes the genuine per-thread memory access stream, and in
+// particular the genuine *sharing* structure:
+//
+//   - BT, IS, LU, MG, SP, UA: 1-D domain decomposition — threads share the
+//     boundary planes/ranges with their neighbours, so communication
+//     concentrates on adjacent thread IDs (the dark diagonals of Figure 4).
+//     LU additionally exchanges data across the periodic boundary, giving
+//     the distant-thread communication the paper reports.
+//   - CG, EP, FT: homogeneous patterns — CG shares the full source vector,
+//     FT transposes all-to-all, EP shares almost nothing.
+//
+// The kernels run at "class S" (tiny, for unit tests) or "class W"
+// (evaluation scale, matching the paper's choice of the W input size).
+package npb
+
+import (
+	"fmt"
+	"sort"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// Class selects the problem size.
+type Class string
+
+const (
+	// ClassS is a tiny size for unit tests.
+	ClassS Class = "S"
+	// ClassW is the evaluation size, mirroring the paper's use of the
+	// NPB W input size ("the most appropriate size for simulation").
+	ClassW Class = "W"
+)
+
+// Pattern classifies the communication structure a benchmark is expected to
+// exhibit (Section VI-A).
+type Pattern string
+
+const (
+	// DomainDecomposition patterns concentrate communication between
+	// neighbouring thread IDs.
+	DomainDecomposition Pattern = "domain-decomposition"
+	// DomainDecompositionDistant adds communication between the most
+	// distant threads (LU).
+	DomainDecompositionDistant Pattern = "domain-decomposition+distant"
+	// Homogeneous patterns show approximately uniform communication.
+	Homogeneous Pattern = "homogeneous"
+	// Private patterns share (almost) no data (EP).
+	Private Pattern = "private"
+)
+
+// Params configures one benchmark instance.
+type Params struct {
+	// Threads is the team size; the paper uses 8 (one per core).
+	Threads int
+	// Class is the problem size; empty selects ClassW.
+	Class Class
+	// Seed perturbs workload-internal randomness (keys, sparsity
+	// patterns), modelling distinct executions.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Threads == 0 {
+		p.Threads = 8
+	}
+	if p.Class == "" {
+		p.Class = ClassW
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Builder constructs the per-thread programs of a benchmark, allocating its
+// data in the given address space.
+type Builder func(as *vm.AddressSpace, p Params) []trace.Program
+
+// Benchmark describes one registered kernel.
+type Benchmark struct {
+	Name        string
+	Description string
+	// Expected is the communication structure the paper reports for the
+	// kernel; the harness verifies detected patterns against it.
+	Expected Pattern
+	Build    Builder
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("npb: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Get returns a registered benchmark by its upper-case NPB name.
+func Get(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("npb: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns the registered benchmark names in alphabetical order (the
+// order the paper's tables use).
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered benchmark in name order.
+func All() []Benchmark {
+	out := make([]Benchmark, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// slab partitions n items across parts workers and returns worker who's
+// half-open range [lo, hi).
+func slab(n, parts, who int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = who*base + min(who, rem)
+	hi = lo + base
+	if who < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lcg is a small deterministic pseudo-random generator used inside kernels
+// (NPB kernels likewise embed their own generator to stay reproducible).
+type lcg struct{ state uint64 }
+
+func newLCG(seed int64) *lcg {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &lcg{state: s}
+}
+
+func (r *lcg) next() uint64 {
+	// xorshift64*
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float64 returns a value in [0, 1).
+func (r *lcg) float64() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,218 @@
+package npb_test
+
+import (
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/sim"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := npb.Names()
+	want := []string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	if len(npb.All()) != 9 {
+		t.Error("All() incomplete")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := npb.Get("DC"); err == nil {
+		t.Error("DC should be unknown (excluded in the paper, too)")
+	}
+	b, err := npb.Get("MG")
+	if err != nil || b.Name != "MG" {
+		t.Errorf("Get(MG) = %v, %v", b.Name, err)
+	}
+}
+
+func TestExpectedPatternsDeclared(t *testing.T) {
+	want := map[string]npb.Pattern{
+		"BT": npb.DomainDecomposition,
+		"SP": npb.DomainDecomposition,
+		"IS": npb.DomainDecomposition,
+		"MG": npb.DomainDecomposition,
+		"UA": npb.DomainDecomposition,
+		"LU": npb.DomainDecompositionDistant,
+		"CG": npb.Homogeneous,
+		"FT": npb.Homogeneous,
+		"EP": npb.Private,
+	}
+	for _, b := range npb.All() {
+		if b.Expected != want[b.Name] {
+			t.Errorf("%s expected pattern = %s, want %s", b.Name, b.Expected, want[b.Name])
+		}
+		if b.Description == "" {
+			t.Errorf("%s has no description", b.Name)
+		}
+	}
+}
+
+// runClassS executes a benchmark at the tiny class through the simulator
+// and returns the result plus the oracle matrix.
+func runClassS(t *testing.T, name string, seed int64) (*sim.Result, *comm.Matrix) {
+	t.Helper()
+	b, err := npb.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := vm.NewAddressSpace()
+	programs := b.Build(as, npb.Params{Threads: 8, Class: npb.ClassS, Seed: seed})
+	if len(programs) != 8 {
+		t.Fatalf("%s built %d programs, want 8", name, len(programs))
+	}
+	det := comm.NewOracleDetector(8, comm.PageGranularity)
+	res, err := sim.Run(sim.Config{
+		Machine:  topology.Harpertown(),
+		Detector: det,
+	}, as, trace.NewTeam(programs, 0))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res, det.Matrix()
+}
+
+func TestAllKernelsRunAtClassS(t *testing.T) {
+	for _, name := range npb.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, _ := runClassS(t, name, 1)
+			if res.Accesses == 0 {
+				t.Error("no memory accesses simulated")
+			}
+			if res.Cycles == 0 {
+				t.Error("no cycles simulated")
+			}
+		})
+	}
+}
+
+func TestKernelsDeterministicPerSeed(t *testing.T) {
+	for _, name := range []string{"BT", "IS", "CG"} {
+		r1, m1 := runClassS(t, name, 7)
+		r2, m2 := runClassS(t, name, 7)
+		if r1.Accesses != r2.Accesses || r1.Cycles != r2.Cycles {
+			t.Errorf("%s not deterministic: %d/%d vs %d/%d",
+				name, r1.Accesses, r1.Cycles, r2.Accesses, r2.Cycles)
+		}
+		if m1.Similarity(m2) < 0.9999 {
+			t.Errorf("%s oracle matrices differ for identical seeds", name)
+		}
+	}
+}
+
+func TestSeedChangesISKeys(t *testing.T) {
+	// Different seeds produce different key streams: the runs must not
+	// be byte-identical (IS generates its keys from the seed).
+	r1, _ := runClassS(t, "IS", 1)
+	r2, _ := runClassS(t, "IS", 2)
+	if r1.Cycles == r2.Cycles && r1.Counters == r2.Counters {
+		t.Error("IS ignores its seed")
+	}
+}
+
+func TestDomainDecompositionShapeAtClassS(t *testing.T) {
+	// Even at the tiny class, the structured-grid kernels must put most
+	// oracle-detected communication on neighbouring threads. MG gets a
+	// lower bar: at class S its entire coarse grid fits on one page,
+	// which genuinely mixes all threads there (multigrid coarse levels
+	// are all-to-all at small scale).
+	for _, tc := range []struct {
+		name string
+		min  float64
+	}{{"BT", 0.5}, {"SP", 0.5}, {"MG", 0.38}} {
+		_, m := runClassS(t, tc.name, 1)
+		if m.Total() == 0 {
+			t.Errorf("%s detected no communication", tc.name)
+			continue
+		}
+		if nf := m.NeighborFraction(); nf < tc.min {
+			t.Errorf("%s neighbour fraction = %.2f, want >= %.2f", tc.name, nf, tc.min)
+		}
+	}
+}
+
+func TestLUHasDistantCommunication(t *testing.T) {
+	_, m := runClassS(t, "LU", 1)
+	var distant uint64
+	for i := 0; i < 4; i++ {
+		distant += m.At(i, 7-i)
+	}
+	if distant == 0 {
+		t.Error("LU mirror pairs show no communication")
+	}
+}
+
+func TestEPSharesAlmostNothing(t *testing.T) {
+	resEP, mEP := runClassS(t, "EP", 1)
+	_, mBT := runClassS(t, "BT", 1)
+	// EP communication per access must be far below BT's.
+	epRate := float64(mEP.Total()) / float64(resEP.Accesses)
+	if epRate > 0.01 {
+		t.Errorf("EP communicates too much: %.5f per access", epRate)
+	}
+	if mEP.Total() >= mBT.Total() {
+		t.Error("EP communicates as much as BT")
+	}
+}
+
+func TestHomogeneousKernelsAreFlat(t *testing.T) {
+	for _, name := range []string{"CG", "FT"} {
+		_, m := runClassS(t, name, 1)
+		if m.Total() == 0 {
+			t.Errorf("%s detected no communication", name)
+			continue
+		}
+		// For 8 threads a perfectly uniform matrix has neighbour
+		// fraction 7/28 = 0.25.
+		if nf := m.NeighborFraction(); nf > 0.5 {
+			t.Errorf("%s neighbour fraction = %.2f; should be homogeneous", name, nf)
+		}
+	}
+}
+
+func TestThreadCountVariants(t *testing.T) {
+	// Kernels must build and run with other power-of-two team sizes.
+	for _, threads := range []int{2, 4} {
+		b, _ := npb.Get("MG")
+		as := vm.NewAddressSpace()
+		programs := b.Build(as, npb.Params{Threads: threads, Class: npb.ClassS})
+		if len(programs) != threads {
+			t.Fatalf("threads=%d built %d programs", threads, len(programs))
+		}
+		machine := topology.Build("tiny", topology.Spec{
+			Chips: 1, L2PerChip: threads / 2, CoresPerL2: 2,
+			L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+		})
+		if threads == 2 {
+			machine = topology.Build("tiny2", topology.Spec{
+				Chips: 1, L2PerChip: 1, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+			})
+		}
+		if _, err := sim.Run(sim.Config{Machine: machine}, as, trace.NewTeam(programs, 0)); err != nil {
+			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	// Zero params must default to 8 threads at class W.
+	b, _ := npb.Get("EP")
+	as := vm.NewAddressSpace()
+	programs := b.Build(as, npb.Params{})
+	if len(programs) != 8 {
+		t.Errorf("default built %d programs", len(programs))
+	}
+}

@@ -1,0 +1,138 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "SP",
+		Description: "Scalar pentadiagonal ADI solver, deep z decomposition with heavy boundary exchange",
+		Expected:    DomainDecomposition,
+		Build:       buildSP,
+	})
+}
+
+// buildSP constructs the SP kernel. Like BT it is an ADI solver with 1-D
+// domain decomposition in z, but the grid is deep and narrow, so the shared
+// boundary planes are a large fraction of each slab — SP is the benchmark
+// where the paper measures the biggest mapping win (15.3% execution time,
+// 31.1% cache misses).
+func buildSP(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var nz, ny, nx, iters int
+	switch p.Class {
+	case ClassS:
+		nz, ny, nx, iters = 16, 16, 16, 2
+	default:
+		nz, ny, nx, iters = 128, 28, 28, 4
+	}
+	u := trace.NewGrid3(as, nz, ny, nx)
+	rhs := trace.NewGrid3(as, nz, ny, nx)
+	speed := trace.NewGrid3(as, nz, ny, nx)
+	rng := newLCG(p.Seed)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u.Poke(z, y, x, 1+rng.float64())
+				speed.Poke(z, y, x, 0.5+rng.float64())
+			}
+		}
+	}
+
+	n := p.Threads
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(nz, n, id)
+		for it := 0; it < iters; it++ {
+			// RHS with a pentadiagonal (radius-2) coupling in z: the two
+			// outermost planes of each slab read up to two planes into
+			// the neighbouring slabs.
+			for z := lo; z < hi; z++ {
+				zm2, zm1 := clamp(z-2, nz), clamp(z-1, nz)
+				zp1, zp2 := clamp(z+1, nz), clamp(z+2, nz)
+				for y := 0; y < ny; y++ {
+					ym, yp := clamp(y-1, ny), clamp(y+1, ny)
+					for x := 0; x < nx; x++ {
+						xm, xp := clamp(x-1, nx), clamp(x+1, nx)
+						c := u.Get(t, z, y, x)
+						sz := u.Get(t, zm2, y, x) + 4*u.Get(t, zm1, y, x) +
+							4*u.Get(t, zp1, y, x) + u.Get(t, zp2, y, x)
+						sxy := u.Get(t, z, ym, x) + u.Get(t, z, yp, x) +
+							u.Get(t, z, y, xm) + u.Get(t, z, y, xp)
+						w := speed.Get(t, z, y, x)
+						rhs.Set(t, z, y, x, 0.05*w*(sz+sxy-14*c))
+						t.Compute(12)
+					}
+				}
+			}
+			t.Barrier()
+
+			// Halo refresh before the line solves: like NPB SP, every
+			// directional sweep needs fresh boundary planes, so each
+			// thread re-reads the two planes on each side of its slab
+			// (the neighbours' freshly written data) and folds them into
+			// its own edge planes. This boundary ping-pong repeats every
+			// sweep and is the dominant coherence traffic of SP.
+			for pass := 0; pass < 2; pass++ {
+				for _, zh := range []int{lo - 2, lo - 1, hi, hi + 1} {
+					if zh < 0 || zh >= nz {
+						continue
+					}
+					own := lo
+					if zh >= hi {
+						own = hi - 1
+					}
+					for y := 0; y < ny; y++ {
+						for x := 0; x < nx; x++ {
+							h := rhs.Get(t, zh, y, x)
+							rhs.Add(t, own, y, x, 0.01*h)
+							t.Compute(2)
+						}
+					}
+				}
+				t.Barrier()
+			}
+
+			// x- and y-line solves (thread-local).
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 1; x < nx; x++ {
+						rhs.Add(t, z, y, x, 0.3*rhs.Get(t, z, y, x-1))
+						t.Compute(3)
+					}
+				}
+				for x := 0; x < nx; x++ {
+					for y := 1; y < ny; y++ {
+						rhs.Add(t, z, y, x, 0.3*rhs.Get(t, z, y-1, x))
+						t.Compute(3)
+					}
+				}
+			}
+			t.Barrier()
+
+			// z-line solve within the slab, coupled to the neighbour's
+			// boundary plane, followed by the solution update.
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					for z := lo; z < hi; z++ {
+						zm := clamp(z-1, nz)
+						rhs.Add(t, z, y, x, 0.3*rhs.Get(t, zm, y, x))
+						t.Compute(3)
+					}
+				}
+			}
+			for z := lo; z < hi; z++ {
+				for y := 0; y < ny; y++ {
+					for x := 0; x < nx; x++ {
+						u.Add(t, z, y, x, rhs.Get(t, z, y, x))
+						t.Compute(2)
+					}
+				}
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

@@ -1,0 +1,98 @@
+package npb
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "UA",
+		Description: "Unstructured adaptive mesh smoothing: contiguous partitions with irregular neighbour spill and periodic refinement",
+		Expected:    DomainDecomposition,
+		Build:       buildUA,
+	})
+}
+
+// buildUA constructs the UA kernel: iterative smoothing over an
+// unstructured mesh whose elements are connected mostly to nearby element
+// IDs (with a sprinkling of long-range links), partitioned contiguously
+// across threads. Boundary elements read neighbour partitions — the
+// domain-decomposition pattern — while the long links add the irregular
+// background the paper's UA matrices show. Every iteration a deterministic
+// subset of elements is "refined": extra degrees of freedom are appended to
+// a growth region and smoothed too, modelling the adaptivity of NPB UA.
+func buildUA(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var elems, degree, iters, refinePer int
+	switch p.Class {
+	case ClassS:
+		elems, degree, iters, refinePer = 1024, 4, 2, 32
+	default:
+		elems, degree, iters, refinePer = 131072, 4, 2, 1024
+	}
+	n := p.Threads
+
+	adj := trace.NewI64(as, elems*degree) // adjacency lists (traced reads)
+	val := trace.NewF64(as, elems)        // element values
+	res := trace.NewF64(as, elems)        // smoothing result
+	// Refinement growth region: one segment per thread, written as
+	// elements are refined.
+	refCap := elems / 4
+	refined := trace.NewF64(as, refCap)
+
+	rng := newLCG(p.Seed)
+	for e := 0; e < elems; e++ {
+		for d := 0; d < degree; d++ {
+			// Links are spatially local, as in a real partitioned mesh:
+			// each element couples to a random patch of nearby element
+			// IDs, crossing a partition boundary for elements near the
+			// partition edges. The random patch widths produce the
+			// irregular (non-uniform) neighbour bands of the UA matrices.
+			width := 64 << rng.intn(5) // 64..1024
+			nb := clamp(e-width+rng.intn(2*width+1), elems)
+			adj.Poke(e*degree+d, int64(nb))
+		}
+		val.Poke(e, rng.float64())
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(elems, n, id)
+		rLo, rHi := slab(refCap, n, id)
+		rng := newLCG(p.Seed*31 + int64(id))
+		for it := 0; it < iters; it++ {
+			// Gather-smooth over the thread's elements: neighbour reads
+			// cross partition boundaries for edge elements.
+			for e := lo; e < hi; e++ {
+				var sum float64
+				for d := 0; d < degree; d++ {
+					nb := int(adj.Get(t, e*degree+d))
+					sum += val.Get(t, nb)
+					t.Compute(3)
+				}
+				res.Set(t, e, (sum+val.Get(t, e))/float64(degree+1))
+			}
+			t.Barrier()
+			for e := lo; e < hi; e++ {
+				val.Set(t, e, res.Get(t, e))
+				t.Compute(2)
+			}
+			t.Barrier()
+
+			// Adaptive refinement: pick elements of the slab and emit
+			// refined degrees of freedom into the growth region, each
+			// initialized from its parent and the parent's neighbours.
+			for k := 0; k < refinePer; k++ {
+				e := lo + rng.intn(hi-lo)
+				slot := rLo + (it*refinePer+k)%(rHi-rLo)
+				parent := val.Get(t, e)
+				nb := int(adj.Get(t, e*degree))
+				refined.Set(t, slot, 0.5*(parent+val.Get(t, nb)))
+				t.Compute(6)
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

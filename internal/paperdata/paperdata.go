@@ -1,0 +1,147 @@
+// Package paperdata encodes the published numbers of the paper's evaluation
+// (Tables III, IV and V, and the derived normalized values of Figures 6-9)
+// as Go data, so the harness can print measured results side by side with
+// the paper's and check the qualitative claims automatically.
+//
+// Values are transcribed from the paper; the per-second rates of Table IV
+// are the OS/SM/HM rows, and the normalized figures are derived as
+// (rate_mapped / time_mapped⁻¹) … i.e. total events = rate × time, mapped
+// total / OS total.
+package paperdata
+
+import (
+	"sort"
+)
+
+// Apps lists the paper's benchmarks in table order.
+var Apps = []string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"}
+
+// Table3Row is the paper's Table III.
+type Table3Row struct {
+	MissRate        float64 // TLB miss rate (fraction)
+	SampledFraction float64 // misses for which SM ran (fraction)
+	Overhead        float64 // total overhead (fraction)
+}
+
+// Table3 holds the paper's SM statistics.
+var Table3 = map[string]Table3Row{
+	"BT": {0.0001, 0.00655, 0.00195},
+	"CG": {0.00015, 0.00942, 0.00249},
+	"EP": {0.00002, 0.00998, 0.00027},
+	"FT": {0.00007, 0.00961, 0.0012},
+	"IS": {0.00333, 0.00993, 0.04077},
+	"LU": {0.00026, 0.00875, 0.00519},
+	"MG": {0.00008, 0.0082, 0.00117},
+	"SP": {0.00032, 0.00909, 0.00751},
+	"UA": {0.00005, 0.00829, 0.0008},
+}
+
+// Table4Row is one benchmark's column of the paper's Table IV: execution
+// time in seconds and event rates per second, for the OS, SM and HM
+// mappings.
+type Table4Row struct {
+	TimeOS, TimeSM, TimeHM float64
+	InvOS, InvSM, InvHM    float64
+	SnpOS, SnpSM, SnpHM    float64
+	L2OS, L2SM, L2HM       float64
+}
+
+// Table4 holds the paper's absolute rates.
+var Table4 = map[string]Table4Row{
+	"BT": {0.74, 0.68, 0.69, 9845216, 7019908, 7499308, 7196937, 3612138, 4263300, 248962, 212403, 207314},
+	"CG": {0.13, 0.13, 0.13, 3831746, 3624698, 3747079, 10374266, 10395271, 10492865, 1144400, 1169066, 1176111},
+	"EP": {0.48, 0.47, 0.47, 121230, 103558, 105117, 27870, 21560, 22666, 3365, 3159, 3240},
+	"FT": {0.10, 0.10, 0.10, 16154353, 16571898, 16544292, 5172957, 5288628, 5298599, 460250, 473133, 472221},
+	"IS": {0.06, 0.06, 0.06, 9754232, 9681120, 9637287, 11461581, 11889910, 11830896, 1007312, 914644, 908205},
+	"LU": {2.39, 2.27, 2.27, 14457991, 12395757, 13745080, 12706165, 8739948, 9881274, 656734, 575242, 669864},
+	"MG": {0.23, 0.22, 0.22, 35970058, 35792412, 35439765, 4093348, 1519446, 2482490, 939658, 924153, 953271},
+	"SP": {2.53, 2.14, 2.25, 17749230, 13535357, 13956912, 10668132, 5874685, 6757793, 339850, 276327, 263512},
+	"UA": {2.19, 2.06, 2.06, 7361187, 4609197, 4600673, 5008487, 3055559, 3064284, 741887, 610845, 610188},
+}
+
+// Table5Row is one benchmark's column of the paper's Table V (relative
+// standard deviations, percent) for the OS and SM mappings.
+type Table5Row struct {
+	TimeOS, TimeSM float64
+	InvOS, InvSM   float64
+	SnpOS, SnpSM   float64
+	L2OS, L2SM     float64
+}
+
+// Table5 holds the paper's standard deviations.
+var Table5 = map[string]Table5Row{
+	"BT": {3.44, 4.15, 4.68, 3.41, 5.08, 5.72, 25.74, 23.89},
+	"CG": {11.35, 2.68, 1.45, 0.92, 1.0, 0.47, 1.92, 2.37},
+	"EP": {5.13, 1.98, 30.68, 22.79, 32.53, 52.32, 41.1, 38.4},
+	"FT": {20.55, 6.83, 0.88, 0.58, 1.02, 0.73, 5.28, 5.18},
+	"IS": {21.26, 4.62, 1.52, 0.68, 0.78, 0.81, 2.75, 3.3},
+	"LU": {6.98, 0.2, 4.55, 0.16, 8.45, 1.21, 11.32, 26.41},
+	"MG": {9.22, 2.82, 1.64, 2.22, 7.75, 12.03, 4.6, 4.96},
+	"SP": {1.35, 0.11, 4.75, 0.42, 8.35, 1.29, 30.04, 36.94},
+	"UA": {1.76, 0.25, 1.92, 0.97, 5.79, 3.56, 8.0, 15.03},
+}
+
+// NormalizedSM returns the paper's Figures 6-9 values for the SM mapping,
+// derived from Table IV: (rate_SM x time_SM) / (rate_OS x time_OS) for the
+// event metrics and time_SM / time_OS for execution time.
+func NormalizedSM(app string) (time, inv, snoop, l2 float64, ok bool) {
+	r, found := Table4[app]
+	if !found {
+		return 0, 0, 0, 0, false
+	}
+	time = r.TimeSM / r.TimeOS
+	inv = (r.InvSM * r.TimeSM) / (r.InvOS * r.TimeOS)
+	snoop = (r.SnpSM * r.TimeSM) / (r.SnpOS * r.TimeOS)
+	l2 = (r.L2SM * r.TimeSM) / (r.L2OS * r.TimeOS)
+	return time, inv, snoop, l2, true
+}
+
+// Heterogeneous reports whether the paper classifies the benchmark as
+// having an exploitable (non-homogeneous) communication pattern.
+func Heterogeneous(app string) bool {
+	switch app {
+	case "CG", "EP", "FT":
+		return false
+	default:
+		_, ok := Table4[app]
+		return ok
+	}
+}
+
+// Champions returns the paper's headline claims as (metric -> app, value):
+// the benchmark with the largest reduction per metric.
+func Champions() map[string]struct {
+	App       string
+	Reduction float64
+} {
+	type champ struct {
+		App       string
+		Reduction float64
+	}
+	out := map[string]champ{}
+	apps := append([]string(nil), Apps...)
+	sort.Strings(apps)
+	for _, app := range apps {
+		t, i, s, l, ok := NormalizedSM(app)
+		if !ok {
+			continue
+		}
+		for metric, v := range map[string]float64{"time": t, "inv": i, "snoop": s, "l2miss": l} {
+			red := 1 - v
+			if red > out[metric].Reduction {
+				out[metric] = champ{App: app, Reduction: red}
+			}
+		}
+	}
+	res := map[string]struct {
+		App       string
+		Reduction float64
+	}{}
+	for k, v := range out {
+		res[k] = struct {
+			App       string
+			Reduction float64
+		}{v.App, v.Reduction}
+	}
+	return res
+}

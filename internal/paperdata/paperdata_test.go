@@ -1,0 +1,103 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTablesCoverAllApps(t *testing.T) {
+	if len(Apps) != 9 {
+		t.Fatalf("apps = %v", Apps)
+	}
+	for _, app := range Apps {
+		if _, ok := Table3[app]; !ok {
+			t.Errorf("Table3 missing %s", app)
+		}
+		if _, ok := Table4[app]; !ok {
+			t.Errorf("Table4 missing %s", app)
+		}
+		if _, ok := Table5[app]; !ok {
+			t.Errorf("Table5 missing %s", app)
+		}
+	}
+}
+
+func TestHeadlineClaimsMatchAbstract(t *testing.T) {
+	// The abstract: "performance improvements of up to 15.3%, reducing the
+	// number of cache misses by up to 31.1%". Section VI adds:
+	// invalidations up to 41% (UA), snoops up to 65.4% (MG).
+	champs := Champions()
+	if c := champs["time"]; c.App != "SP" || math.Abs(c.Reduction-0.153) > 0.01 {
+		t.Errorf("time champion = %+v, want SP at 15.3%%", c)
+	}
+	if c := champs["l2miss"]; c.App != "SP" || math.Abs(c.Reduction-0.311) > 0.015 {
+		t.Errorf("L2 champion = %+v, want SP at 31.1%%", c)
+	}
+	if c := champs["inv"]; c.App != "UA" || math.Abs(c.Reduction-0.41) > 0.02 {
+		t.Errorf("invalidation champion = %+v, want UA at 41%%", c)
+	}
+	if c := champs["snoop"]; c.App != "MG" || math.Abs(c.Reduction-0.654) > 0.02 {
+		t.Errorf("snoop champion = %+v, want MG at 65.4%%", c)
+	}
+}
+
+func TestNormalizedSMSanity(t *testing.T) {
+	for _, app := range Apps {
+		time, inv, snoop, l2, ok := NormalizedSM(app)
+		if !ok {
+			t.Fatalf("%s missing", app)
+		}
+		for name, v := range map[string]float64{"time": time, "inv": inv, "snoop": snoop, "l2": l2} {
+			if v <= 0 || v > 1.3 {
+				t.Errorf("%s %s normalized = %v", app, name, v)
+			}
+		}
+		// Mapped time never exceeds OS time in the paper.
+		if time > 1.0001 {
+			t.Errorf("%s mapped slower than OS in paper data: %v", app, time)
+		}
+	}
+	if _, _, _, _, ok := NormalizedSM("XX"); ok {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestHeterogeneousClassification(t *testing.T) {
+	for _, app := range []string{"BT", "IS", "LU", "MG", "SP", "UA"} {
+		if !Heterogeneous(app) {
+			t.Errorf("%s should be heterogeneous", app)
+		}
+	}
+	for _, app := range []string{"CG", "EP", "FT"} {
+		if Heterogeneous(app) {
+			t.Errorf("%s should be homogeneous", app)
+		}
+	}
+	if Heterogeneous("XX") {
+		t.Error("unknown app classified")
+	}
+}
+
+func TestISHasHighestMissRate(t *testing.T) {
+	for app, row := range Table3 {
+		if app == "IS" {
+			continue
+		}
+		if row.MissRate >= Table3["IS"].MissRate {
+			t.Errorf("%s miss rate %v >= IS", app, row.MissRate)
+		}
+	}
+}
+
+func TestOSVarianceExceedsSMForTime(t *testing.T) {
+	// Table V's qualitative claim: mapping stabilizes execution time.
+	worse := 0
+	for _, app := range Apps {
+		if Table5[app].TimeSM < Table5[app].TimeOS {
+			worse++
+		}
+	}
+	if worse < 7 {
+		t.Errorf("only %d of 9 apps have lower SM time variance in the paper data", worse)
+	}
+}

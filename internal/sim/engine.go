@@ -1,0 +1,436 @@
+// Package sim is the multicore simulation engine: it drives a team of
+// traced threads over the TLB, cache and interconnect models with per-core
+// cycle accounting, playing the role Simics plays in the paper's evaluation
+// (Section V-B).
+//
+// Scheduling is event-interleaved: the engine always advances the thread
+// whose core clock is furthest behind, so simulated time progresses the way
+// it would on real concurrent hardware. Threads are pinned to cores by a
+// placement (thread -> core permutation); the placement under test is the
+// only thing that changes between the OS-baseline, SM and HM performance
+// runs of Figures 6-9.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/mem"
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	// Machine is the hardware topology (required).
+	Machine *topology.Machine
+	// L1/L2 cache geometries; zero values select the Table II defaults.
+	L1, L2 mem.CacheConfig
+	// TLB geometry; the zero value selects the paper's 64-entry 4-way TLB.
+	TLB tlb.Config
+	// TLB2 optionally enables a second-level TLB (the x86 STLB; use
+	// tlb.DefaultL2Config for the Nehalem geometry). It is only honoured
+	// in hardware-managed mode: software-managed architectures have a
+	// single TLB level, and the SM detector must see every miss.
+	TLB2 tlb.Config
+	// TLBMode selects software- or hardware-managed TLB refills, which
+	// determines the baseline miss cost (trap vs. page walk).
+	TLBMode tlb.Management
+	// Placement maps thread -> core. It must be a permutation with one
+	// thread per core. Nil selects the identity placement.
+	Placement []int
+	// Detector observes the run; nil selects comm.NullDetector.
+	Detector comm.Detector
+	// PageNode, when non-nil on a NUMA machine, is the data-placement
+	// policy: the NUMA node each virtual page's memory is allocated on.
+	// Pages are placed when first walked (like an OS allocating the
+	// physical frame on first touch). Nil places everything on node 0.
+	PageNode func(vm.Page) int
+	// Migrator, when non-nil, enables dynamic thread migration — the
+	// scheduler modification the paper's future work calls for. Every
+	// MigrationInterval cycles the engine passes the current thread ->
+	// core placement to the Migrator; returning a different permutation
+	// migrates the moved threads: they continue on their new cores with
+	// cold TLBs and caches (the natural migration penalty) plus
+	// MigrationCost cycles of context-switch overhead each.
+	Migrator func(now uint64, placement []int) []int
+	// MigrationInterval is the Migrator polling period in cycles
+	// (0 selects 500,000).
+	MigrationInterval uint64
+	// JitterSeed, when non-zero, enables system-noise modelling: threads
+	// start with small random clock offsets and Compute durations vary by
+	// ±JitterAmp. This reproduces the run-to-run variability of real
+	// executions (the standard deviations of Table V); 0 gives fully
+	// deterministic runs.
+	JitterSeed int64
+	// JitterAmp is the relative amplitude of compute-time noise; zero
+	// selects the default of 0.05 (5%).
+	JitterAmp float64
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// Cycles is the simulated execution time: the largest core clock.
+	Cycles uint64
+	// CoreCycles is the final clock of every core.
+	CoreCycles []uint64
+	// Counters is the machine-wide event total.
+	Counters metrics.Counters
+	// PerCore holds the per-core counter banks.
+	PerCore []metrics.Counters
+	// Accesses is the number of data accesses simulated.
+	Accesses uint64
+	// TLBMissRate is misses/lookups over all cores (Table III column 1).
+	TLBMissRate float64
+	// DetectionOverhead is detection cycles / total cycles (Table III
+	// column 3).
+	DetectionOverhead float64
+	// Matrix is the communication matrix the detector accumulated (nil
+	// for NullDetector).
+	Matrix *comm.Matrix
+	// Detector echoes the detector's name.
+	Detector string
+	// Placement echoes the final thread -> core placement (it differs
+	// from the initial one when a Migrator moved threads).
+	Placement []int
+	// Migrations counts individual thread moves performed by the
+	// Migrator.
+	Migrations int
+}
+
+// threadState tracks one thread inside the scheduler.
+type threadState struct {
+	batch     trace.Batch
+	idx       int // next event within batch
+	clock     uint64
+	atBarrier bool
+	done      bool
+	started   bool
+}
+
+// Run drives a team to completion and returns the result. The address space
+// must be the one the team's traced arrays were allocated in.
+func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
+	n := len(team.Threads)
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: Config.Machine is required")
+	}
+	if cfg.Machine.NumCores() != n {
+		return nil, fmt.Errorf("sim: %d threads but machine has %d cores (the paper maps one thread per core)",
+			n, cfg.Machine.NumCores())
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = make([]int, n)
+		for i := range placement {
+			placement[i] = i
+		}
+	}
+	if err := validatePlacement(placement, n); err != nil {
+		return nil, err
+	}
+	if cfg.L1 == (mem.CacheConfig{}) {
+		cfg.L1 = mem.DefaultL1Config
+	}
+	if cfg.L2 == (mem.CacheConfig{}) {
+		cfg.L2 = mem.DefaultL2Config
+	}
+	if cfg.TLB == (tlb.Config{}) {
+		cfg.TLB = tlb.DefaultConfig
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = comm.NullDetector{}
+	}
+
+	system := mem.NewSystem(cfg.Machine, cfg.L1, cfg.L2)
+	// TLBs are physical per-CORE structures; the detector view is indexed
+	// by THREAD (the first-level TLB of the core the thread currently
+	// runs on), so detector matrices come out indexed by thread. When a
+	// Migrator moves threads, the view is rebuilt. Detection always reads
+	// the first level; the optional second level only changes miss costs
+	// on hardware-managed machines.
+	l2cfg := cfg.TLB2
+	if cfg.TLBMode == tlb.SoftwareManaged {
+		l2cfg = tlb.Config{}
+	}
+	hier := make([]*tlb.Hierarchy, n) // indexed by core
+	for c := 0; c < n; c++ {
+		hier[c] = tlb.NewHierarchy(cfg.TLB, l2cfg)
+	}
+	tlbs := make(comm.TLBView, n) // indexed by thread
+	rebuildView := func() {
+		for t := 0; t < n; t++ {
+			tlbs[t] = hier[placement[t]].L1()
+		}
+	}
+	rebuildView()
+
+	missCost := uint64(vm.WalkCost)
+	if cfg.TLBMode == tlb.SoftwareManaged {
+		missCost = vm.TrapCost
+	}
+
+	var rng *rand.Rand
+	amp := cfg.JitterAmp
+	if amp == 0 {
+		amp = 0.05
+	}
+	if cfg.JitterSeed != 0 {
+		rng = rand.New(rand.NewSource(cfg.JitterSeed))
+	}
+
+	states := make([]*threadState, n)
+	for i := range states {
+		states[i] = &threadState{}
+		if rng != nil {
+			// Stagger thread start-up like a real runtime would.
+			states[i].clock = uint64(rng.Intn(2048))
+		}
+	}
+
+	var detectionCycles, accesses uint64
+	detCtr := make([]uint64, n) // per-core detection cycles (already in clock)
+	var placed map[vm.Frame]bool
+	if cfg.PageNode != nil {
+		placed = make(map[vm.Frame]bool)
+	}
+	migInterval := cfg.MigrationInterval
+	if migInterval == 0 {
+		migInterval = 500_000
+	}
+	var lastMigCheck uint64
+	migArmed := false
+	migrations := 0
+
+	// pick returns the runnable thread with the smallest clock, or -1.
+	pick := func() int {
+		best := -1
+		for i, st := range states {
+			if st.done || st.atBarrier {
+				continue
+			}
+			if best == -1 || st.clock < states[best].clock {
+				best = i
+			}
+		}
+		return best
+	}
+
+	// refill fetches the next batch for thread i (starting it on first use).
+	refill := func(i int) {
+		st := states[i]
+		if !st.started {
+			st.started = true
+			st.batch = team.Start(i)
+		} else {
+			st.batch = team.Resume(i)
+		}
+		st.idx = 0
+	}
+
+	aliveCount := n
+	for aliveCount > 0 {
+		i := pick()
+		if i == -1 {
+			// Everyone alive is parked at a barrier: release it.
+			var maxClock uint64
+			for _, st := range states {
+				if !st.done && st.clock > maxClock {
+					maxClock = st.clock
+				}
+			}
+			released := false
+			for j, st := range states {
+				if st.done || !st.atBarrier {
+					continue
+				}
+				st.clock = maxClock
+				st.atBarrier = false
+				refill(j)
+				released = true
+			}
+			if !released {
+				return nil, fmt.Errorf("sim: scheduler stuck with %d threads alive", aliveCount)
+			}
+			continue
+		}
+		st := states[i]
+		if !st.started {
+			refill(i)
+		}
+		if st.idx >= len(st.batch.Events) {
+			// Batch exhausted: act on its terminator.
+			switch {
+			case st.batch.Done:
+				st.done = true
+				aliveCount--
+			case st.batch.Barrier:
+				st.atBarrier = true
+			default:
+				refill(i)
+			}
+			continue
+		}
+
+		ev := st.batch.Events[st.idx]
+		st.idx++
+
+		if ev.Kind == trace.Compute {
+			c := uint64(ev.Addr)
+			if rng != nil {
+				c = uint64(float64(c) * (1 - amp + 2*amp*rng.Float64()))
+			}
+			st.clock += c
+			continue
+		}
+
+		// Dynamic migration hook: consult the Migrator on the global
+		// time watermark grid. Migrated threads pay the context-switch
+		// cost and continue with the destination core's (cold or stale)
+		// TLB and caches.
+		if cfg.Migrator != nil {
+			if !migArmed {
+				migArmed = true
+				lastMigCheck = st.clock
+			} else if st.clock-lastMigCheck >= migInterval {
+				lastMigCheck = st.clock
+				next := cfg.Migrator(st.clock, append([]int(nil), placement...))
+				if next != nil {
+					if err := validatePlacement(next, n); err != nil {
+						return nil, fmt.Errorf("sim: migrator returned invalid placement: %w", err)
+					}
+					for th := range placement {
+						if placement[th] != next[th] {
+							states[th].clock += MigrationCost
+							migrations++
+						}
+					}
+					copy(placement, next)
+					rebuildView()
+				}
+			}
+		}
+
+		// Periodic detection hook (HM). Because the scheduler always
+		// advances the minimum clock, st.clock is the global time
+		// watermark here.
+		if scanCost := det.MaybeScan(st.clock, tlbs); scanCost > 0 {
+			detectionCycles += scanCost
+			for j, other := range states {
+				if !other.done {
+					other.clock += scanCost
+					detCtr[j] += scanCost
+				}
+			}
+			system.Counters(placement[i]).Inc(metrics.DetectionSearches)
+		}
+
+		core := placement[i]
+		ctr := system.Counters(core)
+		accesses++
+
+		// Address translation through the TLB hierarchy of the thread's
+		// current core.
+		page := ev.Addr.Page()
+		h := hier[placement[i]]
+		frame, where := h.Lookup(page)
+		switch where {
+		case tlb.HitL1:
+			ctr.Inc(metrics.TLBHits)
+			st.clock++ // TLB access overlaps with L1 pipeline; 1 cycle
+		case tlb.HitL2:
+			// STLB hit: cheap refill, invisible to the OS (and hence to
+			// the detectors).
+			ctr.Inc(metrics.TLBHits)
+			st.clock += tlb.STLBCost
+		default: // full miss: walk (HM) or trap (SM)
+			ctr.Inc(metrics.TLBMisses)
+			st.clock += missCost
+			if smCost := det.OnTLBMiss(i, page, tlbs); smCost > 0 {
+				st.clock += smCost
+				detectionCycles += smCost
+				detCtr[i] += smCost
+				ctr.Inc(metrics.DetectionSearches)
+			}
+			tr, err := as.Translate(ev.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("sim: thread %d: %w", i, err)
+			}
+			frame = tr.Frame
+			h.Insert(tr)
+			if cfg.PageNode != nil && !placed[tr.Frame] {
+				system.PlaceFrame(uint64(tr.Frame), cfg.PageNode(tr.Page))
+				placed[tr.Frame] = true
+			}
+		}
+
+		det.OnAccess(i, ev.Addr)
+
+		phys := uint64(frame)<<vm.PageShift | ev.Addr.Offset()
+		line := mem.Line(phys >> mem.LineShift)
+		if ev.Kind == trace.Load {
+			st.clock += system.Read(core, line, st.clock)
+		} else {
+			st.clock += system.Write(core, line, st.clock)
+		}
+	}
+
+	// Assemble the result.
+	res := &Result{
+		CoreCycles: make([]uint64, n),
+		PerCore:    make([]metrics.Counters, n),
+		Accesses:   accesses,
+		Matrix:     det.Matrix(),
+		Detector:   det.Name(),
+		Placement:  append([]int(nil), placement...),
+		Migrations: migrations,
+	}
+	var tlbLookups, tlbMisses uint64
+	for i := 0; i < n; i++ {
+		core := placement[i]
+		res.CoreCycles[core] = states[i].clock
+		if states[i].clock > res.Cycles {
+			res.Cycles = states[i].clock
+		}
+		bank := system.Counters(core)
+		bank.Add(metrics.DetectionCycles, detCtr[i])
+		res.PerCore[core] = bank.Snapshot()
+		tlbLookups += hier[i].L1().Hits() + hier[i].L1().Misses()
+		tlbMisses += hier[i].L1().Misses()
+	}
+	res.Counters = system.TotalCounters()
+	if tlbLookups > 0 {
+		res.TLBMissRate = float64(tlbMisses) / float64(tlbLookups)
+	}
+	if res.Cycles > 0 {
+		res.DetectionOverhead = float64(detectionCycles) / float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// MigrationCost is the context-switch overhead, in cycles, charged to each
+// thread a Migrator moves (the cold-cache/cold-TLB penalty emerges
+// naturally from the destination core's state).
+const MigrationCost = 20_000
+
+func validatePlacement(placement []int, n int) error {
+	if len(placement) != n {
+		return fmt.Errorf("sim: placement has %d entries for %d threads", len(placement), n)
+	}
+	seen := make([]bool, n)
+	for t, c := range placement {
+		if c < 0 || c >= n {
+			return fmt.Errorf("sim: thread %d placed on invalid core %d", t, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("sim: core %d assigned to more than one thread", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// harpertownConfig returns a minimal valid config.
+func harpertownConfig() Config {
+	return Config{Machine: topology.Harpertown()}
+}
+
+// runSimple builds an 8-thread team from body and runs it.
+func runSimple(t *testing.T, cfg Config, body trace.Program) *Result {
+	t.Helper()
+	as := vm.NewAddressSpace()
+	arr := trace.NewF64(as, 1024)
+	_ = arr
+	team := trace.SPMD(8, body, 0)
+	res, err := Run(cfg, as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunRequiresMachine(t *testing.T) {
+	as := vm.NewAddressSpace()
+	team := trace.SPMD(1, func(*trace.Thread) {}, 0)
+	if _, err := Run(Config{}, as, team); err == nil {
+		t.Error("missing machine accepted")
+	}
+}
+
+func TestRunRequiresMatchingCoreCount(t *testing.T) {
+	as := vm.NewAddressSpace()
+	team := trace.SPMD(3, func(*trace.Thread) {}, 0)
+	if _, err := Run(harpertownConfig(), as, team); err == nil {
+		t.Error("3 threads on 8 cores accepted (the paper maps one thread per core)")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	cases := [][]int{
+		{0, 1, 2},                 // wrong length
+		{0, 1, 2, 3, 4, 5, 6, 9},  // out of range
+		{0, 1, 2, 3, 4, 5, 6, 0},  // duplicate
+		{0, 0, 0, 0, 0, 0, 0, -1}, // negative
+	}
+	for _, p := range cases {
+		as := vm.NewAddressSpace()
+		team := trace.SPMD(8, func(*trace.Thread) {}, 0)
+		cfg := harpertownConfig()
+		cfg.Placement = p
+		if _, err := Run(cfg, as, team); err == nil {
+			t.Errorf("placement %v accepted", p)
+		}
+	}
+}
+
+func TestEmptyProgramsComplete(t *testing.T) {
+	res := runSimple(t, harpertownConfig(), func(*trace.Thread) {})
+	if res.Accesses != 0 {
+		t.Errorf("accesses = %d", res.Accesses)
+	}
+}
+
+func TestAccessesCountedAndCountersFilled(t *testing.T) {
+	as := vm.NewAddressSpace()
+	arr := trace.NewF64(as, 64)
+	team := trace.SPMD(8, func(th *trace.Thread) {
+		for i := 0; i < 10; i++ {
+			arr.Set(th, th.ID()*8+i%8, 1.0)
+		}
+	}, 0)
+	res, err := Run(harpertownConfig(), as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 80 {
+		t.Errorf("accesses = %d, want 80", res.Accesses)
+	}
+	total := res.Counters
+	if total.Get(metrics.L1Hits)+total.Get(metrics.L1Misses) != 80 {
+		t.Errorf("L1 lookups = %d, want 80",
+			total.Get(metrics.L1Hits)+total.Get(metrics.L1Misses))
+	}
+	if total.Get(metrics.TLBMisses) == 0 {
+		t.Error("no TLB misses on cold start")
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles simulated")
+	}
+	if res.TLBMissRate <= 0 || res.TLBMissRate > 1 {
+		t.Errorf("miss rate = %v", res.TLBMissRate)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	res := runSimple(t, harpertownConfig(), func(th *trace.Thread) {
+		th.Compute(1000)
+	})
+	if res.Cycles < 1000 {
+		t.Errorf("cycles = %d, want >= 1000", res.Cycles)
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	as := vm.NewAddressSpace()
+	team := trace.NewTeam([]trace.Program{
+		func(th *trace.Thread) { th.Compute(10_000); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+		func(th *trace.Thread) { th.Compute(1); th.Barrier() },
+	}, 0)
+	res, err := Run(harpertownConfig(), as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the barrier everyone waited for the slow thread.
+	for c, cyc := range res.CoreCycles {
+		if cyc < 10_000 {
+			t.Errorf("core %d finished at %d, before the barrier release", c, cyc)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() (*vm.AddressSpace, *trace.Team) {
+		as := vm.NewAddressSpace()
+		arr := trace.NewF64(as, 4096)
+		team := trace.SPMD(8, func(th *trace.Thread) {
+			for i := 0; i < 200; i++ {
+				arr.Add(th, (th.ID()*512+i*7)%4096, 1)
+				th.Compute(3)
+			}
+		}, 0)
+		return as, team
+	}
+	as1, t1 := build()
+	r1, err := Run(harpertownConfig(), as1, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as2, t2 := build()
+	r2, err := Run(harpertownConfig(), as2, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Accesses != r2.Accesses {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d cycles/accesses",
+			r1.Cycles, r1.Accesses, r2.Cycles, r2.Accesses)
+	}
+	if r1.Counters != r2.Counters {
+		t.Error("counters differ between identical runs")
+	}
+}
+
+func TestJitterPerturbsButPreservesWork(t *testing.T) {
+	build := func() (*vm.AddressSpace, *trace.Team) {
+		as := vm.NewAddressSpace()
+		arr := trace.NewF64(as, 1024)
+		team := trace.SPMD(8, func(th *trace.Thread) {
+			for i := 0; i < 100; i++ {
+				arr.Add(th, (th.ID()*128+i)%1024, 1)
+				th.Compute(10)
+			}
+		}, 0)
+		return as, team
+	}
+	cfg := harpertownConfig()
+	as1, t1 := build()
+	base, err := Run(cfg, as1, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.JitterSeed = 12345
+	as2, t2 := build()
+	jit, err := Run(cfg, as2, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.Cycles == base.Cycles {
+		t.Error("jitter had no effect on timing")
+	}
+	if jit.Accesses != base.Accesses {
+		t.Error("jitter changed the amount of work")
+	}
+}
+
+func TestPlacementChangesCoherenceTraffic(t *testing.T) {
+	// Threads 2k and 2k+1 ping-pong on a shared array: pairing them on
+	// L2 domains must beat splitting them across chips.
+	build := func() (*vm.AddressSpace, *trace.Team) {
+		as := vm.NewAddressSpace()
+		shared := make([]*trace.F64, 4)
+		for i := range shared {
+			shared[i] = trace.NewF64(as, 512)
+		}
+		team := trace.SPMD(8, func(th *trace.Thread) {
+			buf := shared[th.ID()/2]
+			for it := 0; it < 50; it++ {
+				for k := 0; k < 64; k++ {
+					buf.Add(th, k, 1)
+				}
+				th.Barrier()
+			}
+		}, 0)
+		return as, team
+	}
+	run := func(placement []int) uint64 {
+		as, team := build()
+		cfg := harpertownConfig()
+		cfg.Placement = placement
+		res, err := Run(cfg, as, team)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.Get(metrics.SnoopTransactions)
+	}
+	paired := run([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	split := run([]int{0, 4, 1, 5, 2, 6, 3, 7})
+	if split <= paired {
+		t.Errorf("splitting sharers should raise snoops: paired %d, split %d", paired, split)
+	}
+}
+
+func TestSMDetectionChargesOverhead(t *testing.T) {
+	as := vm.NewAddressSpace()
+	arr := trace.NewF64(as, 1<<16) // 512 pages: plenty of TLB misses
+	det := comm.NewSMDetector(8, 1)
+	team := trace.SPMD(8, func(th *trace.Thread) {
+		for i := 0; i < 500; i++ {
+			arr.Get(th, (i*613)%arr.Len())
+		}
+	}, 0)
+	cfg := harpertownConfig()
+	cfg.TLBMode = tlb.SoftwareManaged
+	cfg.Detector = det
+	res, err := Run(cfg, as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Searches() == 0 {
+		t.Fatal("no searches ran")
+	}
+	if res.DetectionOverhead <= 0 {
+		t.Error("detection overhead not accounted")
+	}
+	if res.Counters.Get(metrics.DetectionCycles) == 0 {
+		t.Error("detection cycles not counted per core")
+	}
+	if res.Matrix == nil {
+		t.Error("matrix not returned")
+	}
+	if res.Detector != "SM" {
+		t.Errorf("detector name = %q", res.Detector)
+	}
+}
+
+func TestHMScanStopsTheWorld(t *testing.T) {
+	as := vm.NewAddressSpace()
+	arr := trace.NewF64(as, 4096)
+	det := comm.NewHMDetector(8, 1000)
+	team := trace.SPMD(8, func(th *trace.Thread) {
+		for i := 0; i < 2000; i++ {
+			arr.Get(th, (th.ID()*512+i)%4096)
+			th.Compute(5)
+		}
+	}, 0)
+	cfg := harpertownConfig()
+	cfg.Detector = det
+	res, err := Run(cfg, as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Searches() == 0 {
+		t.Fatal("no HM scans ran")
+	}
+	wantMin := det.Searches() * comm.HMScanCycles
+	if res.Counters.Get(metrics.DetectionCycles) < wantMin {
+		t.Errorf("detection cycles %d < scans*cost %d",
+			res.Counters.Get(metrics.DetectionCycles), wantMin)
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	as := vm.NewAddressSpace()
+	team := trace.SPMD(8, func(th *trace.Thread) {
+		th.Load(vm.Addr(0xdead0000)) // never allocated
+	}, 0)
+	_, err := Run(harpertownConfig(), as, team)
+	if err == nil || !strings.Contains(err.Error(), "not mapped") {
+		t.Errorf("err = %v, want unmapped failure", err)
+	}
+}
+
+func TestResultEchoesPlacement(t *testing.T) {
+	as := vm.NewAddressSpace()
+	team := trace.SPMD(8, func(*trace.Thread) {}, 0)
+	cfg := harpertownConfig()
+	cfg.Placement = []int{7, 6, 5, 4, 3, 2, 1, 0}
+	res, err := Run(cfg, as, team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Placement {
+		if c != 7-i {
+			t.Errorf("placement echo wrong at %d", i)
+		}
+	}
+	// The echo is a copy.
+	res.Placement[0] = 99
+	if cfg.Placement[0] == 99 {
+		t.Error("placement aliases config")
+	}
+}

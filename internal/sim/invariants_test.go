@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tlbmap/internal/metrics"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// randomWorkload builds an 8-thread workload from a seed: every thread
+// performs a random mix of local and shared accesses with barriers.
+func randomWorkload(seed int64) (*vm.AddressSpace, *trace.Team) {
+	as := vm.NewAddressSpace()
+	shared := trace.NewF64(as, 4096)
+	private := make([]*trace.F64, 8)
+	for i := range private {
+		private[i] = trace.NewF64(as, 1024)
+	}
+	team := trace.SPMD(8, func(t *trace.Thread) {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(t.ID())))
+		for round := 0; round < 4; round++ {
+			n := 50 + rng.Intn(200)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					shared.Add(t, rng.Intn(shared.Len()), 1)
+				} else {
+					private[t.ID()].Add(t, rng.Intn(1024), 1)
+				}
+				if rng.Intn(10) == 0 {
+					t.Compute(uint64(rng.Intn(50)))
+				}
+			}
+			t.Barrier()
+		}
+	}, 0)
+	return as, team
+}
+
+// TestEngineInvariants checks structural invariants on random workloads:
+//
+//  1. the machine-wide counter bank equals the sum of the per-core banks;
+//  2. Cycles is the maximum of CoreCycles;
+//  3. every data access performed an L1 lookup and a TLB lookup;
+//  4. L2 misses never exceed L2 lookups (L1 misses).
+func TestEngineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		as, team := randomWorkload(seed % 1000)
+		res, err := Run(Config{Machine: topology.Harpertown()}, as, team)
+		if err != nil {
+			return false
+		}
+		var sum metrics.Counters
+		var maxClock uint64
+		for c := 0; c < 8; c++ {
+			sum.Merge(&res.PerCore[c])
+			if res.CoreCycles[c] > maxClock {
+				maxClock = res.CoreCycles[c]
+			}
+		}
+		if sum != res.Counters {
+			t.Logf("counter mismatch: %s vs %s", sum.String(), res.Counters.String())
+			return false
+		}
+		if maxClock != res.Cycles {
+			t.Logf("cycles %d != max core clock %d", res.Cycles, maxClock)
+			return false
+		}
+		l1 := res.Counters.Get(metrics.L1Hits) + res.Counters.Get(metrics.L1Misses)
+		tlbL := res.Counters.Get(metrics.TLBHits) + res.Counters.Get(metrics.TLBMisses)
+		if l1 != res.Accesses || tlbL != res.Accesses {
+			t.Logf("lookup counts: l1=%d tlb=%d accesses=%d", l1, tlbL, res.Accesses)
+			return false
+		}
+		l2Lookups := res.Counters.Get(metrics.L2Hits) + res.Counters.Get(metrics.L2Misses)
+		if l2Lookups > res.Accesses {
+			t.Logf("more L2 lookups (%d) than accesses (%d)", l2Lookups, res.Accesses)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineMigrationInvariants: migrating threads mid-run preserves the
+// accounting invariants and the amount of work.
+func TestEngineMigrationInvariants(t *testing.T) {
+	as1, team1 := randomWorkload(7)
+	base, err := Run(Config{Machine: topology.Harpertown()}, as1, team1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reverse := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	calls := 0
+	as2, team2 := randomWorkload(7)
+	res, err := Run(Config{
+		Machine:           topology.Harpertown(),
+		MigrationInterval: 10_000,
+		Migrator: func(now uint64, placement []int) []int {
+			calls++
+			if calls == 1 {
+				return reverse
+			}
+			return nil
+		},
+	}, as2, team2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("migrator never consulted")
+	}
+	if res.Migrations != 8 {
+		t.Errorf("migrations = %d, want 8", res.Migrations)
+	}
+	if res.Accesses != base.Accesses {
+		t.Errorf("migration changed the work: %d vs %d accesses", res.Accesses, base.Accesses)
+	}
+	for i, c := range res.Placement {
+		if c != reverse[i] {
+			t.Errorf("final placement %v does not reflect the migration", res.Placement)
+			break
+		}
+	}
+	// Migrated threads pay the context-switch cost.
+	if res.Cycles <= base.Cycles {
+		t.Errorf("migrated run (%d cycles) not slower than base (%d) despite 8 moves",
+			res.Cycles, base.Cycles)
+	}
+}
+
+// TestEngineMigratorInvalidPlacement: a migrator returning garbage fails
+// the run instead of corrupting it.
+func TestEngineMigratorInvalidPlacement(t *testing.T) {
+	as, team := randomWorkload(3)
+	_, err := Run(Config{
+		Machine:           topology.Harpertown(),
+		MigrationInterval: 10_000,
+		Migrator: func(uint64, []int) []int {
+			return []int{0, 0, 0, 0, 0, 0, 0, 0}
+		},
+	}, as, team)
+	if err == nil {
+		t.Error("invalid migrator placement accepted")
+	}
+}

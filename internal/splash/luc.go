@@ -1,0 +1,137 @@
+package splash
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "LUC",
+		Description: "Blocked dense LU factorization: the diagonal-block owner is a rotating communication hub",
+		Expected:    RotatingHub,
+		Build:       buildLUC,
+	})
+}
+
+// buildLUC constructs the contiguous blocked LU kernel: the matrix is
+// partitioned into BxB blocks owned round-robin by the threads. At step k
+// every thread that owns a block in row or column k reads the freshly
+// factored diagonal block (k, k) — so the owner of that block communicates
+// with everybody, and the hub rotates as k advances. Averaged over the run
+// the matrix looks near-homogeneous, but per-epoch matrices show the moving
+// hub — which is why this kernel is the stress test for the dynamic
+// remapping extension.
+func buildLUC(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var blocks, bsize int
+	switch p.Class {
+	case ClassS:
+		blocks, bsize = 4, 16
+	default:
+		blocks, bsize = 8, 32
+	}
+	n := blocks * bsize
+
+	a := trace.NewMatrix2(as, n, n)
+	rng := newLCG(p.Seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.float64()
+			if i == j {
+				v += float64(n) // diagonally dominant: no pivoting needed
+			}
+			a.Poke(i, j, v)
+		}
+	}
+	threads := p.Threads
+	// owner maps a block (bi, bj) to a thread, round-robin over block
+	// columns within block rows (the "contiguous" allocation of SPLASH-2
+	// LU assigns whole blocks to processors).
+	owner := func(bi, bj int) int { return (bi*blocks + bj) % threads }
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		for k := 0; k < blocks; k++ {
+			// Step 1: the owner factors the diagonal block (k, k).
+			if owner(k, k) == id {
+				base := k * bsize
+				for i := 0; i < bsize; i++ {
+					pivot := a.Get(t, base+i, base+i)
+					if pivot == 0 {
+						pivot = 1
+					}
+					for j := i + 1; j < bsize; j++ {
+						f := a.Get(t, base+j, base+i) / pivot
+						a.Set(t, base+j, base+i, f)
+						for c := i + 1; c < bsize; c++ {
+							a.Set(t, base+j, base+c,
+								a.Get(t, base+j, base+c)-f*a.Get(t, base+i, base+c))
+							t.Compute(4)
+						}
+					}
+				}
+			}
+			t.Barrier()
+
+			// Step 2: owners of row-k and column-k blocks solve their
+			// panels against the diagonal block — everyone who owns such
+			// a block reads the hub's freshly written data.
+			for b := k + 1; b < blocks; b++ {
+				if owner(k, b) == id { // row panel
+					panelSolve(t, a, k, b, bsize, true)
+				}
+				if owner(b, k) == id { // column panel
+					panelSolve(t, a, b, k, bsize, false)
+				}
+			}
+			t.Barrier()
+
+			// Step 3: trailing update — block (i, j) reads panels (i, k)
+			// and (k, j), i.e. data written by two other owners.
+			for bi := k + 1; bi < blocks; bi++ {
+				for bj := k + 1; bj < blocks; bj++ {
+					if owner(bi, bj) != id {
+						continue
+					}
+					for i := 0; i < bsize; i++ {
+						for j := 0; j < bsize; j++ {
+							var sum float64
+							// Sample the inner products (full GEMM would
+							// dominate the run; a strided sample keeps
+							// the sharing structure with bounded work).
+							for c := 0; c < bsize; c += 4 {
+								sum += a.Get(t, bi*bsize+i, k*bsize+c) *
+									a.Get(t, k*bsize+c, bj*bsize+j)
+								t.Compute(3)
+							}
+							a.Set(t, bi*bsize+i, bj*bsize+j,
+								a.Get(t, bi*bsize+i, bj*bsize+j)-sum)
+						}
+					}
+				}
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(threads, body)
+}
+
+// panelSolve triangular-solves one off-diagonal panel against the diagonal
+// block of step k, reading the hub's block and updating the own panel.
+func panelSolve(t *trace.Thread, a *trace.Matrix2, bi, bj, bsize int, rowPanel bool) {
+	var k int
+	if rowPanel {
+		k = bi
+	} else {
+		k = bj
+	}
+	for i := 0; i < bsize; i++ {
+		for j := 0; j < bsize; j += 2 { // strided: bounded work, same sharing
+			diag := a.Get(t, k*bsize+i, k*bsize+clamp(j, bsize))
+			own := a.Get(t, bi*bsize+i, bj*bsize+j)
+			a.Set(t, bi*bsize+i, bj*bsize+j, own-0.01*diag*own)
+			t.Compute(4)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package splash
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "OCEAN",
+		Description: "Red-black SOR over a 2-D grid with 2-D block decomposition (4x2 thread grid)",
+		Expected:    BlockDecomposition,
+		Build:       buildOcean,
+	})
+}
+
+// buildOcean constructs the OCEAN kernel: successive over-relaxation over a
+// 2-D ocean basin grid with a two-dimensional block decomposition (eight
+// threads as a 4-wide, 2-tall grid). At page granularity a grid row spans
+// all four column blocks, so the four threads of one thread-row share
+// every page of their rows — the detected matrix shows two dense
+// four-thread cliques joined by a thin y-boundary link. This is a pattern
+// no 1-D NPB kernel produces: the mapper must place each clique on one
+// chip, which the hierarchical matcher does from the matrix alone.
+func buildOcean(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var ny, nx, iters int
+	switch p.Class {
+	case ClassS:
+		ny, nx, iters = 64, 64, 2
+	default:
+		ny, nx, iters = 256, 320, 4
+	}
+	// Thread grid: tc columns x tr rows; for 8 threads, 4x2.
+	tc := 4
+	tr := p.Threads / tc
+	if tr == 0 {
+		tr, tc = 1, p.Threads
+	}
+
+	grid := trace.NewMatrix2(as, ny, nx)
+	work := trace.NewMatrix2(as, ny, nx)
+	rng := newLCG(p.Seed)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			grid.Poke(y, x, rng.float64())
+		}
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		row, col := id/tc, id%tc
+		yLo, yHi := slab(ny, tr, row)
+		xLo, xHi := slab(nx, tc, col)
+		for it := 0; it < iters; it++ {
+			// Red-black SOR: two half-sweeps, each reading the 4-point
+			// stencil. Boundary reads touch the four 2-D neighbours'
+			// blocks.
+			for color := 0; color < 2; color++ {
+				for y := yLo; y < yHi; y++ {
+					start := xLo + (y+color+xLo)%2
+					for x := start; x < xHi; x += 2 {
+						s := grid.Get(t, clamp(y-1, ny), x) +
+							grid.Get(t, clamp(y+1, ny), x) +
+							grid.Get(t, y, clamp(x-1, nx)) +
+							grid.Get(t, y, clamp(x+1, nx))
+						old := grid.Get(t, y, x)
+						grid.Set(t, y, x, old+0.4*(s/4-old))
+						t.Compute(8)
+					}
+				}
+				t.Barrier()
+			}
+			// Laplacian into the work array (local writes, stencil reads).
+			for y := yLo; y < yHi; y++ {
+				for x := xLo; x < xHi; x++ {
+					v := grid.Get(t, clamp(y-1, ny), x) + grid.Get(t, clamp(y+1, ny), x) +
+						grid.Get(t, y, clamp(x-1, nx)) + grid.Get(t, y, clamp(x+1, nx)) -
+						4*grid.Get(t, y, x)
+					work.Set(t, y, x, v)
+					t.Compute(6)
+				}
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(p.Threads, body)
+}

@@ -1,0 +1,95 @@
+package splash
+
+import (
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "RADIX",
+		Description: "LSD radix sort: per-digit histogram, prefix and permutation over shared key arrays",
+		Expected:    Homogeneous,
+		Build:       buildRadix,
+	})
+}
+
+// buildRadix constructs the RADIX kernel: a least-significant-digit radix
+// sort. Each pass histograms one digit of the thread's key range, merges
+// the histograms, and permutes the keys into a shared destination array.
+// With uniformly random keys the permutation scatters each thread's keys
+// across the whole destination — the homogeneous communication SPLASH-2's
+// radix is known for [7].
+func buildRadix(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var keysPerThread, digitBits, passes int
+	switch p.Class {
+	case ClassS:
+		keysPerThread, digitBits, passes = 1<<10, 4, 2
+	default:
+		keysPerThread, digitBits, passes = 1<<13, 6, 2
+	}
+	n := p.Threads
+	total := keysPerThread * n
+	radix := 1 << digitBits
+
+	src := trace.NewI64(as, total)
+	dst := trace.NewI64(as, total)
+	// Global histogram: per-thread rows to avoid write contention, merged
+	// by column like SPLASH-2 radix does.
+	hist := trace.NewI64(as, n*radix)
+	rank := trace.NewI64(as, n*radix)
+
+	rng := newLCG(p.Seed)
+	for i := 0; i < total; i++ {
+		src.Poke(i, int64(rng.next()>>16))
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(total, n, id)
+		from, to := src, dst
+		for pass := 0; pass < passes; pass++ {
+			shift := uint(pass * digitBits)
+			// Local histogram of the own key range.
+			for d := 0; d < radix; d++ {
+				hist.Set(t, id*radix+d, 0)
+			}
+			for i := lo; i < hi; i++ {
+				d := int(uint64(from.Get(t, i))>>shift) & (radix - 1)
+				hist.Add(t, id*radix+d, 1)
+				t.Compute(3)
+			}
+			t.Barrier()
+
+			// Global ranking: each thread ranks a slice of the digit
+			// space, reading every thread's histogram column — the
+			// all-threads exchange.
+			dLo, dHi := slab(radix, n, id)
+			for d := dLo; d < dHi; d++ {
+				var sum int64
+				for w := 0; w < n; w++ {
+					sum += hist.Get(t, w*radix+d)
+				}
+				rank.Set(t, id*radix+(d-dLo), sum)
+				t.Compute(2)
+			}
+			t.Barrier()
+
+			// Permutation: scatter the own keys to their digit-ordered
+			// positions in the destination array (touching everyone's
+			// future ranges).
+			for i := lo; i < hi; i++ {
+				key := from.Get(t, i)
+				d := int(uint64(key)>>shift) & (radix - 1)
+				pos := (d*total/radix + (i-lo)%(total/radix)) % total
+				dst := to // local alias for clarity
+				dst.Set(t, pos, key)
+				t.Compute(4)
+			}
+			t.Barrier()
+			from, to = to, from
+		}
+	}
+	return spmd(n, body)
+}

@@ -1,0 +1,85 @@
+package splash
+
+import (
+	"math"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "WATER",
+		Description: "All-pairs molecular dynamics: every thread reads every other thread's molecules",
+		Expected:    Homogeneous,
+		Build:       buildWater,
+	})
+}
+
+// buildWater constructs the WATER-NSQUARED-style kernel: molecular dynamics
+// with an O(N²) all-pairs force computation. Positions are partitioned
+// across threads; computing the forces on the own molecules requires
+// reading *every* molecule's position, so every thread streams through
+// every other thread's pages each timestep — a maximally homogeneous,
+// read-dominated pattern.
+func buildWater(as *vm.AddressSpace, p Params) []trace.Program {
+	p = p.withDefaults()
+	var molecules, steps int
+	switch p.Class {
+	case ClassS:
+		molecules, steps = 256, 2
+	default:
+		molecules, steps = 1024, 3
+	}
+	n := p.Threads
+
+	posX := trace.NewF64(as, molecules)
+	posY := trace.NewF64(as, molecules)
+	velX := trace.NewF64(as, molecules)
+	velY := trace.NewF64(as, molecules)
+	frcX := trace.NewF64(as, molecules)
+	frcY := trace.NewF64(as, molecules)
+
+	rng := newLCG(p.Seed)
+	for i := 0; i < molecules; i++ {
+		posX.Poke(i, rng.float64()*100)
+		posY.Poke(i, rng.float64()*100)
+	}
+
+	body := func(t *trace.Thread) {
+		id := t.ID()
+		lo, hi := slab(molecules, n, id)
+		for s := 0; s < steps; s++ {
+			// Force computation: own molecules against all molecules.
+			for i := lo; i < hi; i++ {
+				xi, yi := posX.Get(t, i), posY.Get(t, i)
+				var fx, fy float64
+				for j := 0; j < molecules; j++ {
+					if j == i {
+						continue
+					}
+					dx := xi - posX.Get(t, j)
+					dy := yi - posY.Get(t, j)
+					r2 := dx*dx + dy*dy + 1e-6
+					inv := 1 / (r2 * math.Sqrt(r2))
+					fx += dx * inv
+					fy += dy * inv
+					t.Compute(10)
+				}
+				frcX.Set(t, i, fx)
+				frcY.Set(t, i, fy)
+			}
+			t.Barrier()
+			// Integration: own molecules only.
+			for i := lo; i < hi; i++ {
+				velX.Add(t, i, 0.01*frcX.Get(t, i))
+				velY.Add(t, i, 0.01*frcY.Get(t, i))
+				posX.Add(t, i, 0.01*velX.Get(t, i))
+				posY.Add(t, i, 0.01*velY.Get(t, i))
+				t.Compute(8)
+			}
+			t.Barrier()
+		}
+	}
+	return spmd(n, body)
+}

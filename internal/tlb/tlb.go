@@ -1,0 +1,275 @@
+// Package tlb models per-core Translation Lookaside Buffers: set-associative
+// caches of page-table entries with LRU replacement, as described in
+// Section IV of the paper.
+//
+// Both detection mechanisms operate on these structures:
+//
+//   - The software-managed (SM) detector searches the *other* cores' TLBs
+//     for the page that just missed (Figure 1a). For a set-associative TLB
+//     only the matching set has to be inspected, giving the Θ(P) search of
+//     Table I.
+//   - The hardware-managed (HM) detector periodically compares all pairs of
+//     TLBs set-by-set (Figure 1b), giving the Θ(P²·S) scan of Table I.
+//
+// The paper's experimental configuration — 64 entries, 4-way set
+// associative, the default geometry of the UltraSPARC TLB and of the Intel
+// Nehalem L1 TLB — is exposed as DefaultConfig.
+package tlb
+
+import (
+	"fmt"
+
+	"tlbmap/internal/vm"
+)
+
+// Management selects who refills the TLB on a miss.
+type Management int
+
+const (
+	// SoftwareManaged TLBs trap to the operating system on every miss
+	// (SPARC, MIPS). The OS refill path is where the SM detector hooks in.
+	SoftwareManaged Management = iota
+	// HardwareManaged TLBs are refilled by a hardware page walker (x86).
+	// The OS cannot see misses, so the HM detector scans periodically.
+	HardwareManaged
+)
+
+func (m Management) String() string {
+	switch m {
+	case SoftwareManaged:
+		return "software-managed"
+	case HardwareManaged:
+		return "hardware-managed"
+	default:
+		return fmt.Sprintf("management(%d)", int(m))
+	}
+}
+
+// Config describes the geometry of a TLB.
+type Config struct {
+	// Entries is the total number of translation entries.
+	Entries int
+	// Ways is the set associativity. Entries must be divisible by Ways.
+	Ways int
+}
+
+// DefaultConfig is the geometry used throughout the paper's evaluation
+// (Section VI-A): 64 entries, 4-way set associative.
+var DefaultConfig = Config{Entries: 64, Ways: 4}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Entries / c.Ways }
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("tlb: entries (%d) and ways (%d) must be positive", c.Entries, c.Ways)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb: entries (%d) not divisible by ways (%d)", c.Entries, c.Ways)
+	}
+	return nil
+}
+
+// entry is one TLB slot.
+type entry struct {
+	valid bool
+	page  vm.Page
+	frame vm.Frame
+	lru   uint64 // logical timestamp of last touch
+}
+
+// TLB is one core's translation lookaside buffer. It is also the "mirror in
+// main memory" the paper proposes for SM detection: the detector inspects
+// these structures directly, which on real hardware corresponds to reading
+// the OS-maintained mirror rather than the physical TLB.
+//
+// TLB is not safe for concurrent use; the engine serializes accesses.
+type TLB struct {
+	cfg   Config
+	sets  [][]entry // [set][way]
+	clock uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New builds an empty TLB with the given geometry. It panics on an invalid
+// configuration, which indicates a programming error in a preset.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]entry, cfg.Sets())
+	backing := make([]entry, cfg.Entries)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &TLB{cfg: cfg, sets: sets}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// SetOf returns the set index a page maps to.
+func (t *TLB) SetOf(p vm.Page) int { return int(uint64(p) % uint64(t.cfg.Sets())) }
+
+// Lookup translates a page. On a hit it refreshes the entry's LRU state and
+// returns the frame. On a miss the caller must refill via Insert.
+func (t *TLB) Lookup(p vm.Page) (vm.Frame, bool) {
+	t.clock++
+	set := t.sets[t.SetOf(p)]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			set[i].lru = t.clock
+			t.hits++
+			return set[i].frame, true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert installs a translation, evicting the LRU entry of the set if it is
+// full. It returns the evicted page and whether an eviction happened.
+func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
+	t.clock++
+	set := t.sets[t.SetOf(tr.Page)]
+	// Reuse an existing slot for the same page or an invalid slot.
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].page == tr.Page {
+			set[i].frame = tr.Frame
+			set[i].lru = t.clock
+			return 0, false
+		}
+		if !set[i].valid && victim == -1 {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		// Evict the least recently used way.
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		evicted, wasEvicted = set[victim].page, true
+		t.evictions++
+	}
+	set[victim] = entry{valid: true, page: tr.Page, frame: tr.Frame, lru: t.clock}
+	return evicted, wasEvicted
+}
+
+// Contains reports whether a page is resident without perturbing LRU state.
+// This is the probe the SM detector uses against remote TLB mirrors; it
+// inspects only the page's set, costing Ways comparisons (the Θ(P) search
+// of Table I once the associativity is fixed).
+func (t *TLB) Contains(p vm.Page) bool {
+	set := t.sets[t.SetOf(p)]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the entry for a page if present (the OS invalidation on
+// page-table modification mentioned in Section IV-B). It reports whether an
+// entry was dropped.
+func (t *TLB) Invalidate(p vm.Page) bool {
+	set := t.sets[t.SetOf(p)]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry (e.g. on a context switch without ASIDs).
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// PagesInSet appends the valid pages of one set to dst and returns it.
+// The HM scanner walks sets pairwise with this accessor.
+func (t *TLB) PagesInSet(set int, dst []vm.Page) []vm.Page {
+	for _, e := range t.sets[set] {
+		if e.valid {
+			dst = append(dst, e.page)
+		}
+	}
+	return dst
+}
+
+// ResidentPages returns all valid pages, ordered by set. Used by tests and
+// by the fully-associative scan path.
+func (t *TLB) ResidentPages() []vm.Page {
+	out := make([]vm.Page, 0, t.cfg.Entries)
+	for s := range t.sets {
+		out = t.PagesInSet(s, out)
+	}
+	return out
+}
+
+// Len returns the number of valid entries.
+func (t *TLB) Len() int {
+	n := 0
+	for _, set := range t.sets {
+		for _, e := range set {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Hits returns the number of lookups that hit.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Evictions returns the number of LRU evictions performed.
+func (t *TLB) Evictions() uint64 { return t.evictions }
+
+// MissRate returns misses/(hits+misses), the first column of Table III.
+func (t *TLB) MissRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss/eviction counters without touching the
+// cached translations.
+func (t *TLB) ResetStats() { t.hits, t.misses, t.evictions = 0, 0, 0 }
+
+// MatchesInSet counts pages resident in the same set of both TLBs. The two
+// TLBs must share a geometry; the caller (the HM scanner) guarantees this.
+func MatchesInSet(a, b *TLB, set int) int {
+	n := 0
+	for _, ea := range a.sets[set] {
+		if !ea.valid {
+			continue
+		}
+		for _, eb := range b.sets[set] {
+			if eb.valid && eb.page == ea.page {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

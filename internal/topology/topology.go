@@ -1,0 +1,303 @@
+// Package topology models the hardware topology of the simulated machine:
+// which cores share which levels of the memory hierarchy, and how expensive
+// communication between two cores is.
+//
+// The paper evaluates a two-socket Intel Harpertown system (Figure 3): two
+// chips with four cores each, where every pair of cores shares one L2 cache.
+// The hierarchical mapping algorithm (Section V-A) walks this sharing tree
+// from the leaves upward: the first matching round pairs threads onto
+// L2-sharing core pairs, the second round groups pairs onto chips.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level identifies one layer of the sharing hierarchy, from the individual
+// core up to the whole machine.
+type Level int
+
+// Sharing levels, ordered from innermost (core) to outermost (machine).
+const (
+	LevelCore Level = iota
+	LevelL2
+	LevelChip
+	LevelMachine
+	LevelNUMANode // used only by NUMA topologies
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelCore:
+		return "core"
+	case LevelL2:
+		return "L2"
+	case LevelChip:
+		return "chip"
+	case LevelMachine:
+		return "machine"
+	case LevelNUMANode:
+		return "numa-node"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Node is one vertex of the topology tree. Leaves are cores; inner nodes
+// are sharing domains (an L2 cache, a chip, a NUMA node, the machine).
+type Node struct {
+	Level    Level
+	ID       int // index among nodes of the same level
+	Children []*Node
+	parent   *Node
+	cores    []int // core IDs under this node, in order
+}
+
+// Parent returns the parent node, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Cores returns the IDs of all cores in this subtree, in ascending order.
+func (n *Node) Cores() []int {
+	out := make([]int, len(n.cores))
+	copy(out, n.cores)
+	return out
+}
+
+// Machine is a fully built topology tree with fast distance queries.
+type Machine struct {
+	Name string
+	root *Node
+	// coreNode[i] is the leaf for core i.
+	coreNode []*Node
+	// l2Domain[i] is the ID of the L2 sharing domain of core i (or -1).
+	l2Domain []int
+	// chip[i] is the chip ID of core i (or -1).
+	chip []int
+	// numa[i] is the NUMA node of core i (or -1).
+	numa []int
+	// latency[l] is the round-trip communication cost, in cycles, between
+	// two cores whose nearest common ancestor is at level l.
+	latency map[Level]uint64
+}
+
+// NumCores returns the number of cores in the machine.
+func (m *Machine) NumCores() int { return len(m.coreNode) }
+
+// Root returns the root of the sharing tree.
+func (m *Machine) Root() *Node { return m.root }
+
+// L2Domain returns the ID of the L2 sharing domain that core belongs to,
+// or -1 if the topology has no shared L2 level.
+func (m *Machine) L2Domain(core int) int { return m.l2Domain[core] }
+
+// Chip returns the chip that core belongs to, or -1.
+func (m *Machine) Chip(core int) int { return m.chip[core] }
+
+// NUMANode returns the NUMA node that core belongs to, or -1 for UMA
+// machines.
+func (m *Machine) NUMANode(core int) int { return m.numa[core] }
+
+// SameL2 reports whether two cores share an L2 cache.
+func (m *Machine) SameL2(a, b int) bool {
+	return m.l2Domain[a] >= 0 && m.l2Domain[a] == m.l2Domain[b]
+}
+
+// SameChip reports whether two cores are on the same chip.
+func (m *Machine) SameChip(a, b int) bool {
+	return m.chip[a] >= 0 && m.chip[a] == m.chip[b]
+}
+
+// CommonLevel returns the level of the nearest common sharing domain of two
+// cores: LevelCore if a == b, LevelL2 if they share an L2, and so on.
+func (m *Machine) CommonLevel(a, b int) Level {
+	switch {
+	case a == b:
+		return LevelCore
+	case m.SameL2(a, b):
+		return LevelL2
+	case m.SameChip(a, b):
+		return LevelChip
+	case m.numa[a] >= 0 && m.numa[a] == m.numa[b]:
+		return LevelNUMANode
+	default:
+		return LevelMachine
+	}
+}
+
+// Latency returns the modelled round-trip communication cost, in cycles,
+// between two cores. It is the cost charged by the coherence interconnect
+// for a cache-to-cache transfer between them.
+func (m *Machine) Latency(a, b int) uint64 {
+	return m.latency[m.CommonLevel(a, b)]
+}
+
+// LevelLatency returns the cost associated with a sharing level.
+func (m *Machine) LevelLatency(l Level) uint64 { return m.latency[l] }
+
+// GroupSizes returns, from the leaves upward, the branching factors the
+// hierarchical mapper must honor: how many cores share an L2, how many L2
+// domains share a chip, and so on. For Harpertown this is [2, 2, 2]
+// (2 cores per L2, 2 L2s per chip, 2 chips per machine).
+func (m *Machine) GroupSizes() []int {
+	var sizes []int
+	n := m.root
+	for len(n.Children) > 0 {
+		sizes = append(sizes, len(n.Children))
+		n = n.Children[0]
+	}
+	// sizes currently lists branching factors from the root down; the
+	// mapper wants them leaf-up.
+	for i, j := 0, len(sizes)-1; i < j; i, j = i+1, j-1 {
+		sizes[i], sizes[j] = sizes[j], sizes[i]
+	}
+	return sizes
+}
+
+// String renders the tree for debugging.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d cores)\n", m.Name, m.NumCores())
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s %d: cores %v\n", strings.Repeat("  ", depth), n.Level, n.ID, n.cores)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(m.root, 0)
+	return b.String()
+}
+
+// Harpertown builds the topology of Figure 3: two chips, four cores per
+// chip, each pair of cores sharing one 6 MiB L2. This matches both the
+// simulated machine and the real 2x Xeon E5405 used in the paper.
+//
+// Latencies follow the spirit of the paper's CACTI-derived numbers: an L2
+// shared between two cores makes their communication nearly free, intra-chip
+// snoops are cheap, and inter-chip snoops cross the front-side bus.
+func Harpertown() *Machine {
+	return Build("harpertown-2s", Spec{
+		Chips:       2,
+		L2PerChip:   2,
+		CoresPerL2:  2,
+		L2Latency:   8,   // Table II
+		ChipLatency: 40,  // intra-chip cache-to-cache transfer
+		BusLatency:  120, // inter-chip transfer over the front-side bus
+	})
+}
+
+// NUMA builds a four-node NUMA machine (future-work extension of the paper,
+// Section VII). Each NUMA node is a Harpertown-style chip with local memory;
+// remote-node transfers cost more than inter-chip transfers on the UMA
+// machine.
+func NUMA(nodes int) *Machine {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return Build(fmt.Sprintf("numa-%dn", nodes), Spec{
+		NUMANodes:   nodes,
+		Chips:       1, // chips per NUMA node
+		L2PerChip:   2,
+		CoresPerL2:  2,
+		L2Latency:   8,
+		ChipLatency: 40,
+		BusLatency:  90,
+		NUMALatency: 240,
+	})
+}
+
+// Spec describes a regular machine: NUMANodes x Chips x L2PerChip x
+// CoresPerL2 cores. NUMANodes == 0 means a UMA machine.
+type Spec struct {
+	NUMANodes  int // 0 for UMA
+	Chips      int // chips per machine (UMA) or per NUMA node
+	L2PerChip  int
+	CoresPerL2 int
+
+	L2Latency   uint64 // cores sharing an L2
+	ChipLatency uint64 // same chip, different L2
+	BusLatency  uint64 // different chip (same NUMA node, if any)
+	NUMALatency uint64 // different NUMA node
+}
+
+// Build constructs a Machine from a Spec. It panics on non-positive
+// dimensions, which indicate a programming error in a preset.
+func Build(name string, s Spec) *Machine {
+	if s.Chips <= 0 || s.L2PerChip <= 0 || s.CoresPerL2 <= 0 {
+		panic(fmt.Sprintf("topology: invalid spec %+v", s))
+	}
+	numaNodes := s.NUMANodes
+	uma := numaNodes == 0
+	if uma {
+		numaNodes = 1
+	}
+	totalCores := numaNodes * s.Chips * s.L2PerChip * s.CoresPerL2
+
+	m := &Machine{
+		Name:     name,
+		coreNode: make([]*Node, 0, totalCores),
+		l2Domain: make([]int, 0, totalCores),
+		chip:     make([]int, 0, totalCores),
+		numa:     make([]int, 0, totalCores),
+		latency: map[Level]uint64{
+			LevelCore:     0,
+			LevelL2:       s.L2Latency,
+			LevelChip:     s.ChipLatency,
+			LevelMachine:  s.BusLatency,
+			LevelNUMANode: s.BusLatency,
+		},
+	}
+	if !uma {
+		m.latency[LevelNUMANode] = s.BusLatency
+		m.latency[LevelMachine] = s.NUMALatency
+	}
+
+	root := &Node{Level: LevelMachine, ID: 0}
+	coreID, l2ID, chipID := 0, 0, 0
+	for ni := 0; ni < numaNodes; ni++ {
+		parent := root
+		if !uma {
+			nn := &Node{Level: LevelNUMANode, ID: ni, parent: root}
+			root.Children = append(root.Children, nn)
+			parent = nn
+		}
+		for ci := 0; ci < s.Chips; ci++ {
+			chip := &Node{Level: LevelChip, ID: chipID, parent: parent}
+			parent.Children = append(parent.Children, chip)
+			for li := 0; li < s.L2PerChip; li++ {
+				l2 := &Node{Level: LevelL2, ID: l2ID, parent: chip}
+				chip.Children = append(chip.Children, l2)
+				for k := 0; k < s.CoresPerL2; k++ {
+					core := &Node{Level: LevelCore, ID: coreID, parent: l2, cores: []int{coreID}}
+					l2.Children = append(l2.Children, core)
+					m.coreNode = append(m.coreNode, core)
+					m.l2Domain = append(m.l2Domain, l2ID)
+					m.chip = append(m.chip, chipID)
+					if uma {
+						m.numa = append(m.numa, -1)
+					} else {
+						m.numa = append(m.numa, ni)
+					}
+					coreID++
+				}
+				l2ID++
+			}
+			chipID++
+		}
+	}
+	// Fill the cores lists of inner nodes bottom-up.
+	var fill func(n *Node) []int
+	fill = func(n *Node) []int {
+		if n.Level == LevelCore {
+			return n.cores
+		}
+		for _, c := range n.Children {
+			n.cores = append(n.cores, fill(c)...)
+		}
+		return n.cores
+	}
+	fill(root)
+	m.root = root
+	return m
+}
