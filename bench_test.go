@@ -258,6 +258,31 @@ func BenchmarkTable5Variance(b *testing.B) {
 	b.ReportMetric(smSD, "sm_time_sd_%")
 }
 
+// BenchmarkParallelSuite measures the parallel experiment engine: the same
+// Table IV/V workload fanned out over 1, 2, 4 and 8 workers. The per-job
+// seeding makes the output identical at every width, so the sub-benchmarks
+// differ only in wall-clock time; compare their ns/op to read the scaling
+// curve (flat on a single-core host, near-linear up to GOMAXPROCS
+// otherwise).
+func BenchmarkParallelSuite(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			cfg := harness.Config{
+				Class:       npb.ClassS,
+				Benchmarks:  benchApps,
+				Repetitions: 4,
+				Parallel:    workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunPerformance(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md section 5).
 

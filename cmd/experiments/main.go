@@ -6,7 +6,12 @@
 //
 //	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare]
 //	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
-//	            [-seed N] [-csv DIR] [-v]
+//	            [-seed N] [-parallel N] [-csv DIR] [-v]
+//
+// Independent simulation jobs fan out over -parallel workers (0 = one per
+// CPU). Output is bit-identical at every worker count: each job's seed is
+// derived from (base seed, benchmark, repetition), never from execution
+// order.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"tlbmap/internal/harness"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/runner"
 )
 
 func main() {
@@ -30,21 +36,31 @@ func main() {
 		class   = flag.String("class", "W", "problem class: S (tiny) or W (evaluation scale)")
 		reps    = flag.Int("reps", 10, "repetitions per mapping for tables IV/V (paper: 100)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		csvDir  = flag.String("csv", "", "also write machine-readable CSVs into this directory")
-		verbose = flag.Bool("v", false, "print progress")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines for simulation jobs (0 = one per CPU, 1 = sequential; output is identical at any value)")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		verbose  = flag.Bool("v", false, "print progress (jobs done/total and per-job simulated cycles)")
 	)
 	flag.Parse()
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
 	cfg := harness.Config{
 		Suite:       strings.ToLower(*suite),
 		Class:       npb.Class(strings.ToUpper(*class)),
 		Repetitions: *reps,
 		Seed:        *seed,
+		Parallel:    workers,
 	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
-			cfg.Benchmarks = append(cfg.Benchmarks, strings.ToUpper(strings.TrimSpace(b)))
+			// Skip empty entries so "-bench SP,," or "-bench ''" doesn't
+			// turn into a lookup of the empty benchmark name.
+			if b = strings.ToUpper(strings.TrimSpace(b)); b != "" {
+				cfg.Benchmarks = append(cfg.Benchmarks, b)
+			}
 		}
 	}
 	if *verbose {

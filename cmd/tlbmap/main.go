@@ -6,19 +6,27 @@
 // Usage:
 //
 //	tlbmap -bench SP [-suite npb|splash] [-mech SM|HM|oracle] [-class S|W]
-//	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N] [-seed N]
+//	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N]
+//	       [-seed N] [-reps N] [-parallel N] [-v]
+//
+// The OS baseline draws a fresh random placement per repetition (-reps);
+// the mapped run and the baseline repetitions are independent simulation
+// jobs fanned out over -parallel workers (0 = one per CPU). Per-repetition
+// seeds derive from (seed, benchmark, repetition), so the numbers are
+// identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
 	"tlbmap/internal/core"
 	"tlbmap/internal/mapping"
-	"tlbmap/internal/metrics"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/runner"
 	"tlbmap/internal/splash"
 	"tlbmap/internal/topology"
 )
@@ -35,8 +43,14 @@ func main() {
 		sample   = flag.Uint64("sample", 0, "SM sampling period n (0 = default)")
 		interval = flag.Uint64("interval", 0, "HM scan interval in cycles (0 = default)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		reps     = flag.Int("reps", 1, "OS-baseline repetitions (fresh random placement each)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for evaluation jobs (0 = one per CPU)")
+		verbose  = flag.Bool("v", false, "print job progress")
 	)
 	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
 
 	var machine *topology.Machine
 	switch strings.ToLower(*topo) {
@@ -104,39 +118,56 @@ func main() {
 		mapping.Cost(det.Matrix, machine, place),
 		mapping.Cost(det.Matrix, machine, identity(det.Matrix.N())))
 
-	fmt.Println("== evaluating mapping vs OS scheduler baseline ==")
-	mapped, err := core.Evaluate(w, place, opt)
+	fmt.Printf("== evaluating mapping vs OS scheduler baseline (%d repetition(s)) ==\n", *reps)
+	// Job 0 is the mapped run; jobs 1..reps are OS-baseline repetitions,
+	// each with a placement drawn from its own (seed, benchmark, rep)
+	// stream so the numbers don't depend on worker count or run order.
+	pool := runner.Pool{Workers: *parallel}
+	if *verbose {
+		pool.Progress = func(done, total int) { log.Printf("jobs %d/%d done", done, total) }
+	}
+	results, err := runner.Map(pool, *reps+1, func(i int) (core.RunMetrics, error) {
+		if i == 0 {
+			return core.EvaluateMetrics(w, place, opt)
+		}
+		s := runner.Seed(*seed, name, "os", strconv.Itoa(i-1))
+		osPlace, err := mapping.NewOSScheduler(s).Map(det.Matrix, machine)
+		if err != nil {
+			return core.RunMetrics{}, err
+		}
+		return core.EvaluateMetrics(w, osPlace, opt)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	osSched := mapping.NewOSScheduler(*seed + 42)
-	osPlace, err := osSched.Map(det.Matrix, machine)
-	if err != nil {
-		log.Fatal(err)
+	mapped, osRuns := results[0], results[1:]
+	osMean := func(get func(core.RunMetrics) uint64) float64 {
+		var sum float64
+		for _, r := range osRuns {
+			sum += float64(get(r))
+		}
+		return sum / float64(len(osRuns))
 	}
-	osRes, err := core.Evaluate(w, osPlace, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rel := func(a, b uint64) float64 {
+	rel := func(a, b float64) float64 {
 		if b == 0 {
 			return 1
 		}
-		return float64(a) / float64(b)
+		return a / b
 	}
-	fmt.Printf("%-22s %14s %14s %10s\n", "metric", "mapped", "OS", "ratio")
+	fmt.Printf("%-22s %14s %14s %10s\n", "metric", "mapped", "OS (mean)", "ratio")
 	rows := []struct {
 		name string
-		m, o uint64
+		get  func(core.RunMetrics) uint64
 	}{
-		{"execution cycles", mapped.Cycles, osRes.Cycles},
-		{"invalidations", mapped.Counters.Get(metrics.Invalidations), osRes.Counters.Get(metrics.Invalidations)},
-		{"snoop transactions", mapped.Counters.Get(metrics.SnoopTransactions), osRes.Counters.Get(metrics.SnoopTransactions)},
-		{"L2 misses", mapped.Counters.Get(metrics.L2Misses), osRes.Counters.Get(metrics.L2Misses)},
-		{"inter-chip traffic", mapped.Counters.Get(metrics.InterChipTraffic), osRes.Counters.Get(metrics.InterChipTraffic)},
+		{"execution cycles", func(r core.RunMetrics) uint64 { return r.Cycles }},
+		{"invalidations", func(r core.RunMetrics) uint64 { return r.Invalidations }},
+		{"snoop transactions", func(r core.RunMetrics) uint64 { return r.Snoops }},
+		{"L2 misses", func(r core.RunMetrics) uint64 { return r.L2Misses }},
+		{"inter-chip traffic", func(r core.RunMetrics) uint64 { return r.InterChip }},
 	}
 	for _, r := range rows {
-		fmt.Printf("%-22s %14d %14d %10.3f\n", r.name, r.m, r.o, rel(r.m, r.o))
+		m, o := float64(r.get(mapped)), osMean(r.get)
+		fmt.Printf("%-22s %14.0f %14.0f %10.3f\n", r.name, m, o, rel(m, o))
 	}
 }
 

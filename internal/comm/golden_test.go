@@ -1,0 +1,123 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the serialization golden files")
+
+// goldenMatrix is a fixed 8x8 pattern with the features serialization must
+// preserve: zero pairs, a dominant nearest-neighbour band, and values large
+// enough to catch truncation. It must never change — the committed goldens
+// pin the on-disk formats, so any diff here is a format break.
+func goldenMatrix() *Matrix {
+	m := NewMatrix(8)
+	for i := 0; i < 7; i++ {
+		m.Add(i, i+1, uint64(1_000_000*(i+1)))
+	}
+	m.Add(0, 7, 42)
+	m.Add(2, 5, 987_654_321)
+	return m
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", name)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(t, name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the committed golden (run with -update if the format change is intentional)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenJSON pins the JSON encoding byte for byte and proves the
+// committed file still decodes to the same matrix.
+func TestGoldenJSON(t *testing.T) {
+	m := goldenMatrix()
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matrix.golden.json", got)
+
+	data, err := os.ReadFile(goldenPath(t, "matrix.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != m.String() {
+		t.Errorf("golden JSON decodes to a different matrix:\n%s\nwant:\n%s", &back, m)
+	}
+}
+
+// TestGoldenCSV does the same for the CSV format.
+func TestGoldenCSV(t *testing.T) {
+	m := goldenMatrix()
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matrix.golden.csv", buf.Bytes())
+
+	f, err := os.Open(goldenPath(t, "matrix.golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != m.String() {
+		t.Errorf("golden CSV decodes to a different matrix:\n%s\nwant:\n%s", back, m)
+	}
+}
+
+// TestGoldenFormatsAgree cross-checks the two formats: decoding the JSON
+// golden and the CSV golden must yield the same matrix.
+func TestGoldenFormatsAgree(t *testing.T) {
+	jdata, err := os.ReadFile(goldenPath(t, "matrix.golden.json"))
+	if err != nil {
+		t.Skip("goldens not generated yet")
+	}
+	var fromJSON Matrix
+	if err := json.Unmarshal(jdata, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(goldenPath(t, "matrix.golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fromCSV, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.String() != fromCSV.String() {
+		t.Errorf("JSON and CSV goldens disagree:\n%s\nvs\n%s", &fromJSON, fromCSV)
+	}
+}

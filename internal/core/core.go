@@ -10,6 +10,13 @@
 //  3. Evaluate — run the application under that placement and measure
 //     execution time, invalidations, snoop transactions and L2 misses
 //     (Figures 6-9, Tables IV/V).
+//
+// Every entry point is safe for concurrent use: each run builds its own
+// address space, thread team, caches, TLBs and detectors, and the shared
+// inputs (topology presets, benchmark registries, detected matrices) are
+// read-only after construction. internal/runner exploits this to fan
+// independent (benchmark, placement, repetition) jobs out over a worker
+// pool.
 package core
 
 import (
@@ -18,6 +25,7 @@ import (
 	"tlbmap/internal/comm"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/mem"
+	"tlbmap/internal/metrics"
 	"tlbmap/internal/sim"
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/topology"
@@ -197,6 +205,36 @@ func Evaluate(w Workload, placement []int, opt Options) (*sim.Result, error) {
 	as := vm.NewAddressSpace()
 	programs := w(as)
 	return runPrograms(programs, as, opt, placement, comm.NullDetector{}, tlb.HardwareManaged)
+}
+
+// RunMetrics is the compact per-run summary the experiment tables
+// aggregate: total cycles plus the three coherence counters the paper
+// measures with hardware performance counters (Figures 6-9, Tables IV/V).
+// It is the payload of one (benchmark, placement, repetition) job in the
+// parallel experiment runner.
+type RunMetrics struct {
+	Cycles        uint64
+	Invalidations uint64
+	Snoops        uint64
+	L2Misses      uint64
+	// InterChip counts coherence transactions that crossed the chip
+	// boundary — the traffic the mapping shifts onto shared caches.
+	InterChip uint64
+}
+
+// EvaluateMetrics runs Evaluate and condenses the result into RunMetrics.
+func EvaluateMetrics(w Workload, placement []int, opt Options) (RunMetrics, error) {
+	res, err := Evaluate(w, placement, opt)
+	if err != nil {
+		return RunMetrics{}, err
+	}
+	return RunMetrics{
+		Cycles:        res.Cycles,
+		Invalidations: res.Counters.Get(metrics.Invalidations),
+		Snoops:        res.Counters.Get(metrics.SnoopTransactions),
+		L2Misses:      res.Counters.Get(metrics.L2Misses),
+		InterChip:     res.Counters.Get(metrics.InterChipTraffic),
+	}, nil
 }
 
 // EvaluateWithDetection runs the workload under a placement with a live

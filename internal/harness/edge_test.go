@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tlbmap/internal/core"
+	"tlbmap/internal/npb"
+)
+
+// TestRunPerformanceEdgeCases drives the harness through the degenerate
+// configurations a CLI user can reach: they must yield a clear error or
+// sane output, never a panic or NaN.
+func TestRunPerformanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the expected error; "" = must succeed
+		check   func(t *testing.T, results []PerfResult)
+	}{
+		{
+			name: "single repetition leaves std-dev zero, not NaN",
+			cfg:  Config{Class: npb.ClassS, Benchmarks: []string{"EP"}, Repetitions: 1},
+			check: func(t *testing.T, results []PerfResult) {
+				st := results[0].Stats[OSLabel]
+				if st.Time.N() != 1 {
+					t.Fatalf("reps=1 recorded %d observations", st.Time.N())
+				}
+				if sd := st.Time.RelStdDev(); sd != 0 || math.IsNaN(sd) {
+					t.Errorf("reps=1 rel std dev = %v, want 0", sd)
+				}
+				if out := RenderTable5(results); strings.Contains(out, "NaN") {
+					t.Errorf("Table V contains NaN:\n%s", out)
+				}
+			},
+		},
+		{
+			name:    "unknown benchmark name is a clear error",
+			cfg:     Config{Class: npb.ClassS, Benchmarks: []string{"NOPE"}, Repetitions: 1},
+			wantErr: "NOPE",
+		},
+		{
+			name:    "unknown benchmark in a parallel run is the same error",
+			cfg:     Config{Class: npb.ClassS, Benchmarks: []string{"BOGUS", "EP"}, Repetitions: 1, Parallel: 4},
+			wantErr: "BOGUS",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, err := RunPerformance(tc.cfg)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, results)
+		})
+	}
+}
+
+// TestEmptyBenchSubsetDefaultsToFullSuite: an empty -bench subset selects
+// the whole suite rather than running nothing or erroring.
+func TestEmptyBenchSubsetDefaultsToFullSuite(t *testing.T) {
+	cfg := Config{Class: npb.ClassS, Benchmarks: []string{}, Repetitions: 1}.withDefaults()
+	if len(cfg.Benchmarks) != len(npb.Names()) {
+		t.Fatalf("empty subset selected %v", cfg.Benchmarks)
+	}
+	// And the cheapest per-benchmark driver really produces one row each.
+	rows, err := RunTable3(Config{Class: npb.ClassS, Repetitions: 1, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(npb.Names()) {
+		t.Fatalf("%d rows for the full suite", len(rows))
+	}
+}
+
+// TestRecordZeroCycleRun guards the secs > 0 path of MappingStats.record:
+// a zero-cycle run must contribute to totals but skip the undefined
+// per-second rates, and nothing downstream may divide it into NaN.
+func TestRecordZeroCycleRun(t *testing.T) {
+	var m MappingStats
+	m.record(core.RunMetrics{Cycles: 0, Invalidations: 5, Snoops: 3, L2Misses: 2})
+	if m.Time.N() != 1 || m.Inv.N() != 1 {
+		t.Fatalf("totals not recorded: time n=%d inv n=%d", m.Time.N(), m.Inv.N())
+	}
+	if m.InvPerSec.N() != 0 || m.SnoopPerSec.N() != 0 || m.L2MissPerSec.N() != 0 {
+		t.Error("per-second rates recorded for a zero-cycle run")
+	}
+	pr := PerfResult{
+		Name:  "Z",
+		Stats: map[MappingLabel]*MappingStats{OSLabel: &m, SMLabel: &m, HMLabel: &m},
+	}
+	// Normalized against a zero-time baseline: 0/0 is defined as 1.
+	if v := pr.Normalized(SMLabel, "time"); v != 1 {
+		t.Errorf("zero-over-zero normalized to %v", v)
+	}
+	for _, out := range []string{RenderTable4([]PerfResult{pr}), RenderTable5([]PerfResult{pr})} {
+		if strings.Contains(out, "NaN") {
+			t.Errorf("render contains NaN:\n%s", out)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"tlbmap/internal/comm"
 	"tlbmap/internal/core"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/runner"
 	"tlbmap/internal/splash"
 	"tlbmap/internal/topology"
 )
@@ -44,8 +45,17 @@ type Config struct {
 	// Options for detection and evaluation runs.
 	Options core.Options
 	// Seed perturbs workload-internal randomness and OS placements.
+	// Every simulation job derives its own seed from (Seed, benchmark,
+	// repetition) — never from execution order — so results are
+	// bit-identical at every Parallel setting.
 	Seed int64
+	// Parallel is the number of worker goroutines simulation jobs fan
+	// out over. 0 selects sequential execution (the safe library
+	// default); pass runner.DefaultWorkers() for one worker per CPU.
+	Parallel int
 	// Progress, when non-nil, receives one line per completed step.
+	// With Parallel > 1 it is called from multiple goroutines and must
+	// be safe for concurrent use (log.Printf is).
 	Progress func(format string, args ...any)
 }
 
@@ -80,6 +90,30 @@ func (c Config) logf(format string, args ...any) {
 	if c.Progress != nil {
 		c.Progress(format, args...)
 	}
+}
+
+// pool builds the worker pool for one experiment stage, reporting job
+// completion through the Progress callback. Workers <= 0 pins the pool to
+// one worker, keeping the zero Config sequential.
+func (c Config) pool(stage string) runner.Pool {
+	p := runner.Pool{Workers: c.Parallel}
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+	if c.Progress != nil && p.Workers > 1 {
+		p.Progress = func(done, total int) {
+			c.Progress("%s: %d/%d jobs done", stage, done, total)
+		}
+	}
+	return p
+}
+
+// jobSeed derives the deterministic seed of one simulation job from the
+// base seed and the job's identity. kind separates the independent random
+// streams of one repetition (workload contents, compute jitter, the OS
+// scheduler's placement draw).
+func (c Config) jobSeed(bench, kind string, rep int) int64 {
+	return runner.SeedN(c.Seed, rep, c.Suite, bench, kind)
 }
 
 // workload builds the core.Workload for one benchmark at the configured
@@ -118,29 +152,28 @@ func (p PatternResult) SMSimilarity() float64 { return p.SM.Matrix.Similarity(p.
 func (p PatternResult) HMSimilarity() float64 { return p.HM.Matrix.Similarity(p.Oracle.Matrix) }
 
 // DetectPatterns runs every configured benchmark once with SM, HM and the
-// oracle observing, producing the data for Figures 4 and 5.
+// oracle observing, producing the data for Figures 4 and 5. Benchmarks are
+// independent jobs fanned out over Config.Parallel workers.
 func DetectPatterns(cfg Config) ([]PatternResult, error) {
 	cfg = cfg.withDefaults()
-	out := make([]PatternResult, 0, len(cfg.Benchmarks))
-	for _, name := range cfg.Benchmarks {
+	return runner.Map(cfg.pool("patterns"), len(cfg.Benchmarks), func(i int) (PatternResult, error) {
+		name := cfg.Benchmarks[i]
 		expected, err := cfg.expectedPattern(name)
 		if err != nil {
-			return nil, err
+			return PatternResult{}, err
 		}
 		w, err := cfg.workload(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return PatternResult{}, err
 		}
 		sm, hm, oracle, err := core.DetectAll(w, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("harness: detecting %s: %w", name, err)
+			return PatternResult{}, fmt.Errorf("harness: detecting %s: %w", name, err)
 		}
-		out = append(out, PatternResult{
-			Name: name, Expected: expected, SM: sm, HM: hm, Oracle: oracle,
-		})
-		cfg.logf("detected %s: SM sim %.3f, HM sim %.3f", name, out[len(out)-1].SMSimilarity(), out[len(out)-1].HMSimilarity())
-	}
-	return out, nil
+		r := PatternResult{Name: name, Expected: expected, SM: sm, HM: hm, Oracle: oracle}
+		cfg.logf("detected %s: SM sim %.3f, HM sim %.3f", name, r.SMSimilarity(), r.HMSimilarity())
+		return r, nil
+	})
 }
 
 // expectedPattern returns the declared pattern of a benchmark in the

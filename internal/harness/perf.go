@@ -7,6 +7,7 @@ import (
 	"tlbmap/internal/core"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/metrics"
+	"tlbmap/internal/runner"
 	"tlbmap/internal/stats"
 )
 
@@ -37,22 +38,20 @@ type MappingStats struct {
 	L2Miss stats.Sample
 }
 
-func (m *MappingStats) record(res coreResult) {
-	secs := float64(res.cycles) / ClockHz
+// record folds one run's metrics into the aggregate. A zero-cycle run
+// contributes to the totals but not to the per-second rates (the rate of a
+// zero-length run is undefined, not infinite).
+func (m *MappingStats) record(res core.RunMetrics) {
+	secs := float64(res.Cycles) / ClockHz
 	m.Time.Add(secs)
-	m.Inv.AddUint(res.inv)
-	m.Snoop.AddUint(res.snoop)
-	m.L2Miss.AddUint(res.l2miss)
+	m.Inv.AddUint(res.Invalidations)
+	m.Snoop.AddUint(res.Snoops)
+	m.L2Miss.AddUint(res.L2Misses)
 	if secs > 0 {
-		m.InvPerSec.Add(float64(res.inv) / secs)
-		m.SnoopPerSec.Add(float64(res.snoop) / secs)
-		m.L2MissPerSec.Add(float64(res.l2miss) / secs)
+		m.InvPerSec.Add(float64(res.Invalidations) / secs)
+		m.SnoopPerSec.Add(float64(res.Snoops) / secs)
+		m.L2MissPerSec.Add(float64(res.L2Misses) / secs)
 	}
-}
-
-type coreResult struct {
-	cycles             uint64
-	inv, snoop, l2miss uint64
 }
 
 // PerfResult holds the full performance comparison for one benchmark.
@@ -87,78 +86,130 @@ func (p PerfResult) Normalized(label MappingLabel, metric string) float64 {
 	return stats.Normalize(pick(s), pick(base))
 }
 
+// perfPrep is the per-benchmark output of the detection phase: the
+// PerfResult skeleton plus the SM matrix the OS-scheduler model draws its
+// random placements against.
+type perfPrep struct {
+	name     string
+	smMatrix *comm.Matrix
+	result   PerfResult
+}
+
+// repMetrics is the payload of one (benchmark, repetition) job: the
+// metrics of the three placements evaluated on the same workload instance.
+type repMetrics struct {
+	os, sm, hm core.RunMetrics
+}
+
 // RunPerformance reproduces the performance experiments of Section VI-B:
 // for every benchmark it detects the communication pattern with SM and HM,
 // builds the two mappings, and then runs the benchmark Repetitions times
 // under the OS scheduler model (a fresh random placement per run) and under
 // each mapping (fixed placement, varying system noise and workload seed).
+//
+// The work is expressed as two job lists consumed by internal/runner: one
+// detection job per benchmark, then one evaluation job per (benchmark,
+// repetition) covering all three placements. Every job derives its
+// randomness from (Config.Seed, benchmark, repetition) — never from
+// execution order — and results are aggregated in job-index order, so the
+// output is bit-identical at every Config.Parallel worker count.
 func RunPerformance(cfg Config) ([]PerfResult, error) {
 	cfg = cfg.withDefaults()
 	machine := cfg.Machine()
-	edmonds := mapping.NewEdmonds()
-	osSched := mapping.NewOSScheduler(cfg.Seed * 7)
 
-	out := make([]PerfResult, 0, len(cfg.Benchmarks))
-	for _, name := range cfg.Benchmarks {
+	// Phase 1: one job per benchmark — detect the pattern once, build the
+	// SM and HM mappings the evaluation runs are pinned to.
+	preps, err := runner.Map(cfg.pool("detect"), len(cfg.Benchmarks), func(i int) (perfPrep, error) {
+		name := cfg.Benchmarks[i]
 		w, err := cfg.workload(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return perfPrep{}, err
 		}
 		sm, hm, _, err := core.DetectAll(w, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("harness: detecting %s: %w", name, err)
+			return perfPrep{}, fmt.Errorf("harness: detecting %s: %w", name, err)
 		}
+		edmonds := mapping.NewEdmonds()
 		placeSM, err := edmonds.Map(sm.Matrix, machine)
 		if err != nil {
-			return nil, fmt.Errorf("harness: mapping %s from SM: %w", name, err)
+			return perfPrep{}, fmt.Errorf("harness: mapping %s from SM: %w", name, err)
 		}
 		placeHM, err := edmonds.Map(hm.Matrix, machine)
 		if err != nil {
-			return nil, fmt.Errorf("harness: mapping %s from HM: %w", name, err)
+			return perfPrep{}, fmt.Errorf("harness: mapping %s from HM: %w", name, err)
 		}
-
-		pr := PerfResult{
-			Name: name,
-			Stats: map[MappingLabel]*MappingStats{
-				OSLabel: {}, SMLabel: {}, HMLabel: {},
+		return perfPrep{
+			name:     name,
+			smMatrix: sm.Matrix,
+			result: PerfResult{
+				Name: name,
+				Stats: map[MappingLabel]*MappingStats{
+					OSLabel: {}, SMLabel: {}, HMLabel: {},
+				},
+				PlacementSM: placeSM,
+				PlacementHM: placeHM,
 			},
-			PlacementSM: placeSM,
-			PlacementHM: placeHM,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: one job per (benchmark, repetition). Job j covers
+	// benchmark j/reps, repetition j%reps, and evaluates the OS, SM and
+	// HM placements on the same per-job workload instance.
+	reps := cfg.Repetitions
+	runs, err := runner.Map(cfg.pool("perf"), len(preps)*reps, func(j int) (repMetrics, error) {
+		p := preps[j/reps]
+		rep := j % reps
+		seed := cfg.jobSeed(p.name, "workload", rep)
+		wr, err := cfg.workload(p.name, seed)
+		if err != nil {
+			return repMetrics{}, err
 		}
-		for rep := 0; rep < cfg.Repetitions; rep++ {
-			seed := cfg.Seed + int64(rep)
-			wr, err := cfg.workload(name, seed)
+		opt := cfg.Options
+		opt.JitterSeed = cfg.jobSeed(p.name, "jitter", rep)
+		osPlace, err := mapping.NewOSScheduler(cfg.jobSeed(p.name, "os", rep)).Map(p.smMatrix, machine)
+		if err != nil {
+			return repMetrics{}, err
+		}
+		var out repMetrics
+		for _, run := range []struct {
+			label MappingLabel
+			place []int
+			dst   *core.RunMetrics
+		}{
+			{OSLabel, osPlace, &out.os},
+			{SMLabel, p.result.PlacementSM, &out.sm},
+			{HMLabel, p.result.PlacementHM, &out.hm},
+		} {
+			m, err := core.EvaluateMetrics(wr, run.place, opt)
 			if err != nil {
-				return nil, err
+				return repMetrics{}, fmt.Errorf("harness: %s/%s rep %d: %w", p.name, run.label, rep, err)
 			}
-			opt := cfg.Options
-			opt.JitterSeed = seed*31 + 11
-			osPlace, err := osSched.Map(sm.Matrix, machine)
-			if err != nil {
-				return nil, err
-			}
-			for _, run := range []struct {
-				label MappingLabel
-				place []int
-			}{
-				{OSLabel, osPlace},
-				{SMLabel, placeSM},
-				{HMLabel, placeHM},
-			} {
-				res, err := core.Evaluate(wr, run.place, opt)
-				if err != nil {
-					return nil, fmt.Errorf("harness: %s/%s rep %d: %w", name, run.label, rep, err)
-				}
-				pr.Stats[run.label].record(coreResult{
-					cycles: res.Cycles,
-					inv:    res.Counters.Get(metrics.Invalidations),
-					snoop:  res.Counters.Get(metrics.SnoopTransactions),
-					l2miss: res.Counters.Get(metrics.L2Misses),
-				})
-			}
+			*run.dst = m
+		}
+		cfg.logf("perf %s rep %d: OS %d, SM %d, HM %d cycles",
+			p.name, rep, out.os.Cycles, out.sm.Cycles, out.hm.Cycles)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate in job-index order: benchmark-major, repetition-minor —
+	// the same order a sequential loop would produce.
+	out := make([]PerfResult, 0, len(preps))
+	for bi, p := range preps {
+		pr := p.result
+		for rep := 0; rep < reps; rep++ {
+			r := runs[bi*reps+rep]
+			pr.Stats[OSLabel].record(r.os)
+			pr.Stats[SMLabel].record(r.sm)
+			pr.Stats[HMLabel].record(r.hm)
 		}
 		cfg.logf("performance %s: time SM %.3f, HM %.3f (normalized to OS)",
-			name, pr.Normalized(SMLabel, "time"), pr.Normalized(HMLabel, "time"))
+			pr.Name, pr.Normalized(SMLabel, "time"), pr.Normalized(HMLabel, "time"))
 		out = append(out, pr)
 	}
 	return out, nil
@@ -190,27 +241,26 @@ func RunTable3(cfg Config) ([]Table3Row, error) {
 	if cfg.Options.SampleEvery == 0 {
 		cfg.Options.SampleEvery = 100
 	}
-	out := make([]Table3Row, 0, len(cfg.Benchmarks))
-	for _, name := range cfg.Benchmarks {
+	return runner.Map(cfg.pool("table3"), len(cfg.Benchmarks), func(i int) (Table3Row, error) {
+		name := cfg.Benchmarks[i]
 		w, err := cfg.workload(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		det, err := core.Detect(w, core.SM, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("harness: table3 %s: %w", name, err)
+			return Table3Row{}, fmt.Errorf("harness: table3 %s: %w", name, err)
 		}
-		out = append(out, Table3Row{
+		cfg.logf("table3 %s: miss rate %.4f%%, overhead %.4f%%",
+			name, det.Result.TLBMissRate*100, det.Result.DetectionOverhead*100)
+		return Table3Row{
 			Name:            name,
 			MissRate:        det.Result.TLBMissRate,
 			SampledFraction: det.SampledFraction,
 			Overhead:        det.Result.DetectionOverhead,
 			Searches:        det.Result.Counters.Get(metrics.DetectionSearches),
-		})
-		cfg.logf("table3 %s: miss rate %.4f%%, overhead %.4f%%",
-			name, det.Result.TLBMissRate*100, det.Result.DetectionOverhead*100)
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // HMOverheadRow reports the HM mechanism's overhead (Section VI-C's second
@@ -242,25 +292,24 @@ func RunHMOverhead(cfg Config) ([]HMOverheadRow, error) {
 		cfg.Options.ScanInterval = 1_000_000
 	}
 	const paperInterval = 10_000_000
-	out := make([]HMOverheadRow, 0, len(cfg.Benchmarks))
-	for _, name := range cfg.Benchmarks {
+	return runner.Map(cfg.pool("hm-overhead"), len(cfg.Benchmarks), func(i int) (HMOverheadRow, error) {
+		name := cfg.Benchmarks[i]
 		w, err := cfg.workload(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return HMOverheadRow{}, err
 		}
 		det, err := core.Detect(w, core.HM, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("harness: hm overhead %s: %w", name, err)
+			return HMOverheadRow{}, fmt.Errorf("harness: hm overhead %s: %w", name, err)
 		}
-		out = append(out, HMOverheadRow{
+		return HMOverheadRow{
 			Name:                  name,
 			Interval:              cfg.Options.ScanInterval,
 			Scans:                 det.Result.Counters.Get(metrics.DetectionSearches),
 			Overhead:              det.Result.DetectionOverhead,
 			PaperIntervalOverhead: float64(comm.HMScanCycles) / paperInterval,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // StorageRow compares the storage cost of trace-based detection (the
@@ -285,23 +334,22 @@ func (r StorageRow) Ratio() float64 {
 func RunStorageCost(cfg Config) ([]StorageRow, error) {
 	cfg = cfg.withDefaults()
 	threads := cfg.Machine().NumCores()
-	out := make([]StorageRow, 0, len(cfg.Benchmarks))
-	for _, name := range cfg.Benchmarks {
+	return runner.Map(cfg.pool("storage"), len(cfg.Benchmarks), func(i int) (StorageRow, error) {
+		name := cfg.Benchmarks[i]
 		w, err := cfg.workload(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return StorageRow{}, err
 		}
 		records, bytes, err := core.MeasureTraceSize(w, cfg.Options)
 		if err != nil {
-			return nil, fmt.Errorf("harness: storage %s: %w", name, err)
+			return StorageRow{}, fmt.Errorf("harness: storage %s: %w", name, err)
 		}
-		out = append(out, StorageRow{
+		cfg.logf("storage %s: %d trace bytes for %d accesses", name, bytes, records)
+		return StorageRow{
 			Name:        name,
 			Accesses:    records,
 			TraceBytes:  bytes,
 			MatrixBytes: uint64(threads * threads * 8), // one uint64 per cell
-		})
-		cfg.logf("storage %s: %d trace bytes for %d accesses", name, bytes, records)
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -66,6 +66,13 @@ type Config struct {
 	// ±JitterAmp. This reproduces the run-to-run variability of real
 	// executions (the standard deviations of Table V); 0 gives fully
 	// deterministic runs.
+	//
+	// The seed is the run's only source of randomness, so equal configs
+	// produce bit-identical Results regardless of wall-clock timing or
+	// which goroutine executes them. Callers fanning runs out in parallel
+	// (internal/runner) must derive each run's seed from the run's
+	// identity — e.g. runner.SeedN(base, rep, benchmark, ...) — never
+	// from a shared RNG consumed in execution order.
 	JitterSeed int64
 	// JitterAmp is the relative amplitude of compute-time noise; zero
 	// selects the default of 0.05 (5%).
