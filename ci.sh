@@ -1,9 +1,29 @@
 #!/bin/sh
-# Tier-1 verification gate: vet, build, tests, and the race detector.
+# Tier-1 verification gate: vet, build, tests (shuffled), the race
+# detector, a coverage floor on the engine + memory hierarchy, and a short
+# fuzz smoke of the engine-vs-oracle differential tester.
 # Run before every commit; CI runs exactly this script.
 set -eux
 
 go vet ./...
 go build ./...
-go test ./...
+go test -shuffle=on ./...
 go test -race ./...
+
+# Coverage floor: the simulator core (engine + memory hierarchy) is what
+# every reported number rests on; its statement coverage must not drop
+# below the seed baseline (95.6% at the time the gate was added).
+go test -coverprofile=/tmp/tlbmap-cover.out -coverpkg=./internal/sim,./internal/mem ./internal/sim ./internal/mem ./internal/check
+go tool cover -func=/tmp/tlbmap-cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $NF)
+		printf "sim+mem coverage: %s%%\n", $NF
+		if ($NF + 0 < 95.0) {
+			printf "coverage gate FAILED: %s%% < 95.0%%\n", $NF
+			exit 1
+		}
+	}'
+
+# Fuzz smoke: run the differential fuzz target briefly on top of its
+# committed corpus. Full fuzzing is manual (go test -fuzz ...).
+go test ./internal/check -run=NONE -fuzz=FuzzEngineVsOracle -fuzztime=10s

@@ -6,7 +6,11 @@
 //
 //	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare]
 //	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
-//	            [-seed N] [-parallel N] [-csv DIR] [-v]
+//	            [-seed N] [-parallel N] [-csv DIR] [-check] [-v]
+//
+// -check arms the internal/check invariant suite (sequential memory
+// oracle, MESI legality, TLB consistency, counter conservation) on every
+// simulation job; an invariant violation aborts the experiment.
 //
 // Independent simulation jobs fan out over -parallel workers (0 = one per
 // CPU). Output is bit-identical at every worker count: each job's seed is
@@ -22,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"tlbmap/internal/core"
 	"tlbmap/internal/harness"
 	"tlbmap/internal/npb"
 	"tlbmap/internal/runner"
@@ -39,6 +44,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		parallel = flag.Int("parallel", 0, "worker goroutines for simulation jobs (0 = one per CPU, 1 = sequential; output is identical at any value)")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		chk      = flag.Bool("check", false, "arm the runtime invariant checkers on every simulation job; slower")
 		verbose  = flag.Bool("v", false, "print progress (jobs done/total and per-job simulated cycles)")
 	)
 	flag.Parse()
@@ -53,6 +59,7 @@ func main() {
 		Repetitions: *reps,
 		Seed:        *seed,
 		Parallel:    workers,
+		Options:     core.Options{Check: *chk},
 	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {

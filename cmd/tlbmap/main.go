@@ -7,7 +7,11 @@
 //
 //	tlbmap -bench SP [-suite npb|splash] [-mech SM|HM|oracle] [-class S|W]
 //	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N]
-//	       [-seed N] [-reps N] [-parallel N] [-v]
+//	       [-seed N] [-reps N] [-parallel N] [-check] [-v]
+//
+// -check arms the internal/check invariant suite (sequential memory
+// oracle, MESI legality, TLB consistency, counter conservation) on every
+// simulated run; an invariant violation aborts with a diagnostic.
 //
 // The OS baseline draws a fresh random placement per repetition (-reps);
 // the mapped run and the baseline repetitions are independent simulation
@@ -45,6 +49,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		reps     = flag.Int("reps", 1, "OS-baseline repetitions (fresh random placement each)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for evaluation jobs (0 = one per CPU)")
+		chk      = flag.Bool("check", false, "arm the runtime invariant checkers (oracle, MESI, TLB, conservation); slower")
 		verbose  = flag.Bool("v", false, "print job progress")
 	)
 	flag.Parse()
@@ -97,7 +102,10 @@ func main() {
 		log.Fatalf("unknown suite %q", *suite)
 	}
 	_ = err
-	opt := core.Options{Machine: machine, SampleEvery: *sample, ScanInterval: *interval}
+	opt := core.Options{Machine: machine, SampleEvery: *sample, ScanInterval: *interval, Check: *chk}
+	if *chk {
+		fmt.Println("runtime invariant checkers armed: any violation aborts the run")
+	}
 
 	fmt.Printf("== %s (%s): detecting communication pattern with %s ==\n", name, descr, *mech)
 	det, err := core.Detect(w, core.Mechanism(*mech), opt)

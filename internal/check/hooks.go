@@ -1,0 +1,56 @@
+package check
+
+import (
+	"tlbmap/internal/mem"
+)
+
+// Suite implements mem.Observer by fanning every hierarchy event out to the
+// memory oracle and the MESI legality checker. The engine arms the suite on
+// the System automatically (sim.Run type-asserts its Checker).
+var _ mem.Observer = (*Suite)(nil)
+
+// OnRead implements mem.Observer.
+func (s *Suite) OnRead(core int, l mem.Line, src mem.Source, supplier int) {
+	s.oracle.onRead(core, l, src)
+}
+
+// OnWrite implements mem.Observer.
+func (s *Suite) OnWrite(core int, l mem.Line, src mem.Source, supplier int) {
+	s.oracle.onWrite(core, l)
+	s.mesi.onWrite(core, l)
+}
+
+// OnL1Install implements mem.Observer.
+func (s *Suite) OnL1Install(core int, l mem.Line) {
+	s.oracle.onL1Install(core, l)
+	s.mesi.onL1Install(core, l)
+}
+
+// OnL1Drop implements mem.Observer.
+func (s *Suite) OnL1Drop(core int, l mem.Line) {
+	s.oracle.onL1Drop(core, l)
+	s.mesi.onL1Drop(core, l)
+}
+
+// OnL2Install implements mem.Observer.
+func (s *Suite) OnL2Install(domain int, l mem.Line, st mem.MESIState, src mem.Source, supplier int) {
+	s.oracle.onL2Install(domain, l, src, supplier)
+	s.mesi.onL2Install(domain, l, st)
+}
+
+// OnL2State implements mem.Observer.
+func (s *Suite) OnL2State(domain int, l mem.Line, old, new mem.MESIState) {
+	s.oracle.onL2State(domain, l, new)
+	s.mesi.onL2State(domain, l, old, new)
+}
+
+// OnL2Evict implements mem.Observer.
+func (s *Suite) OnL2Evict(domain int, l mem.Line, st mem.MESIState) {
+	s.oracle.onL2Evict(domain, l)
+	s.mesi.onL2Evict(domain, l, st)
+}
+
+// OnWriteBack implements mem.Observer.
+func (s *Suite) OnWriteBack(domain int, l mem.Line) {
+	s.oracle.onWriteBack(domain, l)
+}

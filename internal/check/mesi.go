@@ -1,0 +1,210 @@
+package check
+
+import (
+	"tlbmap/internal/mem"
+)
+
+// mesiChecker maintains a shadow table of every cached copy and enforces
+// the global MESI legality invariants on each transition:
+//
+//  1. a Modified or Exclusive L2 copy is the only valid L2 copy of its line
+//     (no M+M, M+S, E+S, E+E coexistence);
+//  2. private L1 copies only exist in Shared state (L1s are write-through)
+//     and respect inclusion: an L1 copy implies a valid copy in the core's
+//     L2 domain;
+//  3. reported transitions depart from the state the shadow recorded
+//     (catching missed or duplicated events);
+//  4. at the end of the run the shadow matches the real cache contents
+//     exactly, in both directions.
+type mesiChecker struct {
+	s *Suite
+
+	l2 []map[mem.Line]mem.MESIState // shadow L2 state, by domain
+	l1 []map[mem.Line]bool          // shadow L1 residency, by core
+}
+
+func (m *mesiChecker) init(cores, domains int) {
+	m.l2 = make([]map[mem.Line]mem.MESIState, domains)
+	for d := range m.l2 {
+		m.l2[d] = make(map[mem.Line]mem.MESIState)
+	}
+	m.l1 = make([]map[mem.Line]bool, cores)
+	for c := range m.l1 {
+		m.l1[c] = make(map[mem.Line]bool)
+	}
+}
+
+// checkLine enforces the global single-owner invariant for one line.
+func (m *mesiChecker) checkLine(l mem.Line) {
+	owners, sharers := 0, 0
+	for d := range m.l2 {
+		switch m.l2[d][l] {
+		case mem.Modified, mem.Exclusive:
+			owners++
+		case mem.Shared:
+			sharers++
+		}
+	}
+	if owners > 1 || (owners == 1 && sharers > 0) {
+		m.s.reportf("mesi", "line %#x has %d M/E owner(s) and %d S copy(ies): %s",
+			uint64(l), owners, sharers, m.lineState(l))
+	}
+}
+
+// lineState renders the per-domain states of a line for diagnostics.
+func (m *mesiChecker) lineState(l mem.Line) string {
+	out := make([]byte, len(m.l2))
+	for d := range m.l2 {
+		st, ok := m.l2[d][l]
+		if !ok {
+			st = mem.Invalid
+		}
+		out[d] = st.String()[0]
+	}
+	return string(out)
+}
+
+func (m *mesiChecker) onWrite(core int, l mem.Line) {
+	// After a completed store the writer's domain must own the line in
+	// Modified state — the fundamental write-back MESI postcondition.
+	d := m.s.env.Machine.L2Domain(core)
+	if st := m.l2[d][l]; st != mem.Modified {
+		m.s.reportf("mesi", "store by core %d left line %#x in state %v (want M) in domain %d",
+			core, uint64(l), st, d)
+	}
+	// And no other core's L1 may still hold the (now stale) line.
+	for c := range m.l1 {
+		if c != core && m.l1[c][l] {
+			m.s.reportf("mesi", "store by core %d left a live L1 copy of line %#x on core %d",
+				core, uint64(l), c)
+		}
+	}
+	m.checkLine(l)
+}
+
+func (m *mesiChecker) onL1Install(core int, l mem.Line) {
+	m.l1[core][l] = true
+	// Inclusion: the backing L2 domain must hold the line.
+	d := m.s.env.Machine.L2Domain(core)
+	if m.l2[d][l] == mem.Invalid {
+		m.s.reportf("mesi", "L1 install of line %#x on core %d without a copy in L2 domain %d",
+			uint64(l), core, d)
+	}
+}
+
+func (m *mesiChecker) onL1Drop(core int, l mem.Line) {
+	if !m.l1[core][l] {
+		m.s.reportf("mesi", "L1 drop of line %#x on core %d, which held no copy", uint64(l), core)
+	}
+	delete(m.l1[core], l)
+}
+
+func (m *mesiChecker) onL2Install(domain int, l mem.Line, st mem.MESIState) {
+	if st == mem.Invalid {
+		m.s.reportf("mesi", "install of line %#x in domain %d in Invalid state", uint64(l), domain)
+	}
+	if prev, ok := m.l2[domain][l]; ok {
+		m.s.reportf("mesi", "install of line %#x in domain %d which already holds it in %v",
+			uint64(l), domain, prev)
+	}
+	m.l2[domain][l] = st
+	m.checkLine(l)
+}
+
+func (m *mesiChecker) onL2State(domain int, l mem.Line, old, new mem.MESIState) {
+	if prev := m.l2[domain][l]; prev != old {
+		m.s.reportf("mesi", "transition %v->%v of line %#x in domain %d, but shadow holds %v",
+			old, new, uint64(l), domain, prev)
+	}
+	if new == mem.Invalid {
+		delete(m.l2[domain], l)
+		// Inclusion: invalidating an L2 line drops the L1 copies above
+		// it first, so none may still be live when the event fires.
+		for _, c := range domainCores(m.s, domain) {
+			if m.l1[c][l] {
+				m.s.reportf("mesi", "L2 invalidation of line %#x in domain %d left a live L1 copy on core %d",
+					uint64(l), domain, c)
+			}
+		}
+	} else {
+		m.l2[domain][l] = new
+	}
+	m.checkLine(l)
+}
+
+func (m *mesiChecker) onL2Evict(domain int, l mem.Line, st mem.MESIState) {
+	if prev, ok := m.l2[domain][l]; !ok || prev != st {
+		m.s.reportf("mesi", "eviction of line %#x from domain %d in state %v, but shadow holds %v",
+			uint64(l), domain, st, prev)
+	}
+	delete(m.l2[domain], l)
+}
+
+// checkAll re-verifies the single-owner invariant for every shadow-tracked
+// line (on-demand sweep).
+func (m *mesiChecker) checkAll() {
+	seen := make(map[mem.Line]bool)
+	for d := range m.l2 {
+		for l := range m.l2[d] {
+			if !seen[l] {
+				seen[l] = true
+				m.checkLine(l)
+			}
+		}
+	}
+}
+
+// finish compares the shadow against the real cache contents, both ways:
+// every shadow entry must be resident in the matching state, and every
+// resident line must be in the shadow. A mismatch means the System mutated
+// a cache without reporting the event — the observer plumbing itself is
+// part of what this checker validates.
+func (m *mesiChecker) finish() {
+	m.checkAll()
+	sys := m.s.env.System
+	for d := range m.l2 {
+		actual := make(map[mem.Line]mem.MESIState)
+		sys.L2(d).Each(func(l mem.Line, st mem.MESIState) { actual[l] = st })
+		for l, st := range m.l2[d] {
+			if actual[l] != st {
+				m.s.reportf("mesi", "shadow says domain %d holds line %#x in %v, cache says %v",
+					d, uint64(l), st, actual[l])
+			}
+		}
+		for l, st := range actual {
+			if _, ok := m.l2[d][l]; !ok {
+				m.s.reportf("mesi", "domain %d holds line %#x in %v unknown to the shadow",
+					d, uint64(l), st)
+			}
+		}
+	}
+	for c := range m.l1 {
+		actual := make(map[mem.Line]mem.MESIState)
+		sys.L1(c).Each(func(l mem.Line, st mem.MESIState) { actual[l] = st })
+		for l := range m.l1[c] {
+			if _, ok := actual[l]; !ok {
+				m.s.reportf("mesi", "shadow says core %d's L1 holds line %#x, cache disagrees", c, uint64(l))
+			}
+		}
+		for l, st := range actual {
+			if st != mem.Shared {
+				m.s.reportf("mesi", "write-through L1 of core %d holds line %#x in %v (want S)",
+					c, uint64(l), st)
+			}
+			if !m.l1[c][l] {
+				m.s.reportf("mesi", "core %d's L1 holds line %#x unknown to the shadow", c, uint64(l))
+			}
+		}
+	}
+}
+
+// domainCores lists the cores whose L2 domain is d.
+func domainCores(s *Suite, d int) []int {
+	var cores []int
+	for c := 0; c < s.env.Machine.NumCores(); c++ {
+		if s.env.Machine.L2Domain(c) == d {
+			cores = append(cores, c)
+		}
+	}
+	return cores
+}

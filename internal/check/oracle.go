@@ -1,0 +1,193 @@
+package check
+
+import (
+	"tlbmap/internal/mem"
+)
+
+// oracle is the flat sequential memory value model. It abstracts the value
+// of a cache line as the sequence number of the last store to it (the
+// engine is a timing simulator and carries no data, so a monotonically
+// increasing store counter is a complete value model: two values are equal
+// iff their sequence numbers are).
+//
+// The model tracks where each version lives — main memory, each L2 domain,
+// each private L1 — by replaying the hierarchy's install/drop/write-back
+// events. A load must always observe the globally newest version of its
+// line; a hit on an older copy means an invalidation or write-back was
+// lost, which is precisely the bug class a coherence protocol exists to
+// prevent.
+type oracle struct {
+	s *Suite
+
+	seq uint64 // global store sequence
+
+	ver    map[mem.Line]uint64   // newest version of every written line
+	memVer map[mem.Line]uint64   // version main memory holds
+	l2Ver  []map[mem.Line]uint64 // version each L2 domain holds, by domain
+	l1Ver  []map[mem.Line]uint64 // version each private L1 holds, by core
+
+	// inFlight holds versions of copies invalidated earlier in the SAME
+	// access: on a write miss (BusRdX) the supplier is invalidated before
+	// the requester's install event fires, so the transferred data is
+	// briefly held by no cache. The map is cleared when the access
+	// completes, bounding the window to one transaction.
+	inFlight map[mem.Line]uint64
+}
+
+func (o *oracle) init(cores, domains int) {
+	o.seq = 0
+	o.ver = make(map[mem.Line]uint64)
+	o.memVer = make(map[mem.Line]uint64)
+	o.l2Ver = make([]map[mem.Line]uint64, domains)
+	for d := range o.l2Ver {
+		o.l2Ver[d] = make(map[mem.Line]uint64)
+	}
+	o.l1Ver = make([]map[mem.Line]uint64, cores)
+	for c := range o.l1Ver {
+		o.l1Ver[c] = make(map[mem.Line]uint64)
+	}
+	o.inFlight = make(map[mem.Line]uint64)
+}
+
+// domainOf maps a core to its L2 domain via the suite's topology.
+func (o *oracle) domainOf(core int) int { return o.s.env.Machine.L2Domain(core) }
+
+// onRead checks that the copy a load was served from holds the newest
+// version of the line.
+func (o *oracle) onRead(core int, l mem.Line, src mem.Source) {
+	want := o.ver[l] // 0 for never-written lines
+	var got uint64
+	var ok bool
+	switch src {
+	case mem.SrcL1:
+		got, ok = o.l1Ver[core][l]
+	default:
+		// SrcL2, SrcCache and SrcMemory all serve the load through the
+		// requester's L2, which the preceding install event populated.
+		got, ok = o.l2Ver[o.domainOf(core)][l]
+	}
+	if !ok {
+		o.s.reportf("oracle", "load of line %#x by core %d served from %v, but the model holds no such copy",
+			uint64(l), core, src)
+		return
+	}
+	if got != want {
+		o.s.reportf("oracle", "stale load: core %d read line %#x version %d from %v, newest is %d",
+			core, uint64(l), got, src, want)
+	}
+	clear(o.inFlight) // the access is complete; nothing is in flight
+}
+
+// onWrite advances the line's version. The store merges into the copy the
+// write path just secured in the core's L2 domain, so that copy must be
+// current first (a partial-line store on top of stale data corrupts the
+// unwritten bytes on real hardware).
+func (o *oracle) onWrite(core int, l mem.Line) {
+	d := o.domainOf(core)
+	if got, ok := o.l2Ver[d][l]; !ok {
+		o.s.reportf("oracle", "store to line %#x by core %d but domain %d holds no copy to merge into",
+			uint64(l), core, d)
+	} else if got != o.ver[l] {
+		o.s.reportf("oracle", "store merged into stale line: core %d wrote line %#x over version %d, newest is %d",
+			core, uint64(l), got, o.ver[l])
+	}
+	o.seq++
+	o.ver[l] = o.seq
+	o.l2Ver[d][l] = o.seq
+	// Write-through: the writer's own L1 copy, if any, is updated in
+	// place; every other L1 copy must be invalidated (the MESI checker
+	// verifies that via the drop events).
+	if _, ok := o.l1Ver[core][l]; ok {
+		o.l1Ver[core][l] = o.seq
+	}
+	clear(o.inFlight) // the access is complete; nothing is in flight
+}
+
+// onL1Install fires when a load fills the core's L1; the data comes from
+// the domain's L2, whose version the copy inherits.
+func (o *oracle) onL1Install(core int, l mem.Line) {
+	v, ok := o.l2Ver[o.domainOf(core)][l]
+	if !ok {
+		o.s.reportf("oracle", "L1 fill of line %#x on core %d with no backing L2 copy (inclusion breach)",
+			uint64(l), core)
+		return
+	}
+	o.l1Ver[core][l] = v
+}
+
+func (o *oracle) onL1Drop(core int, l mem.Line) {
+	delete(o.l1Ver[core], l)
+}
+
+// onL2Install records the version a fresh L2 copy carries: the supplying
+// domain's on a cache-to-cache transfer, main memory's on a fill.
+func (o *oracle) onL2Install(domain int, l mem.Line, src mem.Source, supplier int) {
+	var v uint64
+	switch src {
+	case mem.SrcCache:
+		sv, ok := o.l2Ver[supplier][l]
+		if !ok {
+			// On a write miss the supplier was invalidated moments ago
+			// within this very transaction; its data is in flight.
+			sv, ok = o.inFlight[l]
+		}
+		if !ok {
+			o.s.reportf("oracle", "cache-to-cache transfer of line %#x from domain %d, which holds no copy",
+				uint64(l), supplier)
+		}
+		v = sv
+	case mem.SrcMemory:
+		v = o.memVer[l]
+	default:
+		o.s.reportf("oracle", "L2 install of line %#x from unexpected source %v", uint64(l), src)
+	}
+	o.l2Ver[domain][l] = v
+}
+
+func (o *oracle) onL2State(domain int, l mem.Line, newState mem.MESIState) {
+	if newState == mem.Invalid {
+		if v, ok := o.l2Ver[domain][l]; ok {
+			o.inFlight[l] = v
+		}
+		delete(o.l2Ver[domain], l)
+	}
+}
+
+func (o *oracle) onL2Evict(domain int, l mem.Line) {
+	// A Modified victim's write-back event has already updated memVer.
+	delete(o.l2Ver[domain], l)
+}
+
+// onWriteBack fires when a dirty line's data reaches memory (snoop
+// downgrade or eviction).
+func (o *oracle) onWriteBack(domain int, l mem.Line) {
+	v, ok := o.l2Ver[domain][l]
+	if !ok {
+		o.s.reportf("oracle", "write-back of line %#x from domain %d, which holds no copy", uint64(l), domain)
+		return
+	}
+	o.memVer[l] = v
+}
+
+// finish cross-checks the final memory image: for every line ever written,
+// the newest version must still be live somewhere — in main memory or in at
+// least one cached copy. A version held nowhere means a dirty line was
+// dropped without a write-back: a silently lost store.
+func (o *oracle) finish() {
+	for l, want := range o.ver {
+		if o.memVer[l] == want {
+			continue
+		}
+		live := false
+		for d := range o.l2Ver {
+			if v, ok := o.l2Ver[d][l]; ok && v == want {
+				live = true
+				break
+			}
+		}
+		if !live {
+			o.s.reportf("oracle", "final image: newest version %d of line %#x held neither by memory (version %d) nor by any cache",
+				want, uint64(l), o.memVer[l])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tlbmap/internal/core"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/npb"
+	"tlbmap/internal/splash"
+	"tlbmap/internal/topology"
+)
+
+// workloads returns every benchmark of both suites at the tiny class.
+func workloads(t *testing.T) map[string]core.Workload {
+	t.Helper()
+	ws := map[string]core.Workload{}
+	for _, name := range npb.Names() {
+		w, err := core.NPBWorkload(name, npb.Params{Class: npb.ClassS, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws["npb/"+name] = w
+	}
+	for _, name := range splash.Names() {
+		w, err := core.SplashWorkload(name, splash.Params{Class: splash.ClassS, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws["splash/"+name] = w
+	}
+	return ws
+}
+
+// TestSuiteArmedOverBenchmarks runs every NPB and SPLASH benchmark with
+// all four checkers armed under every placement policy the experiments
+// use: the identity, the Edmonds mapping built from a detected matrix,
+// and a random OS-scheduler draw. Any invariant violation fails the run.
+func TestSuiteArmedOverBenchmarks(t *testing.T) {
+	machine := topology.Harpertown()
+	opt := core.Options{Check: true}
+	for name, w := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Detection run (identity placement, SM mechanism) — armed.
+			det, err := core.Detect(w, core.SM, opt)
+			if err != nil {
+				t.Fatalf("checked detection run: %v", err)
+			}
+			mapped, err := core.BuildMapping(det.Matrix, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			osPlace, err := mapping.NewOSScheduler(99).Map(det.Matrix, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for policy, placement := range map[string][]int{
+				"identity": nil,
+				"mapped":   mapped,
+				"os":       osPlace,
+			} {
+				if _, err := core.Evaluate(w, placement, opt); err != nil {
+					t.Errorf("checked %s evaluation: %v", policy, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteArmedWithDetection covers the armed engine with each live
+// mechanism (the SM trap path on software-managed TLBs, the HM scan on
+// hardware-managed ones) on one communication-heavy benchmark per suite.
+func TestSuiteArmedWithDetection(t *testing.T) {
+	opt := core.Options{Check: true}
+	for _, bench := range []string{"npb/SP", "splash/OCEAN"} {
+		for _, mech := range []core.Mechanism{core.SM, core.HM, core.Oracle} {
+			t.Run(fmt.Sprintf("%s/%s", bench, mech), func(t *testing.T) {
+				t.Parallel()
+				ws := workloads(t)
+				if _, err := core.EvaluateWithDetection(ws[bench], nil, mech, opt); err != nil {
+					t.Fatalf("checked %s run: %v", mech, err)
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteArmedNUMA runs an armed evaluation on both NUMA presets,
+// exercising the local/remote conservation split.
+func TestSuiteArmedNUMA(t *testing.T) {
+	for _, chips := range []int{2, 4} {
+		t.Run(fmt.Sprintf("numa%d", chips), func(t *testing.T) {
+			machine := topology.NUMA(chips)
+			w, err := core.NPBWorkload("CG", npb.Params{
+				Class: npb.ClassS, Seed: 1, Threads: machine.NumCores(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := core.Options{Check: true, Machine: machine}
+			if _, err := core.Evaluate(w, nil, opt); err != nil {
+				t.Fatalf("checked NUMA run: %v", err)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCheckerOff measures the engine with no checker armed —
+// the baseline the "disabled checkers cost nothing measurable" claim is
+// judged against (compare with BenchmarkEngineCheckerOn).
+func BenchmarkEngineCheckerOff(b *testing.B) {
+	benchmarkEngine(b, false)
+}
+
+// BenchmarkEngineCheckerOn measures the same run with the full suite
+// armed, quantifying the cost of -check.
+func BenchmarkEngineCheckerOn(b *testing.B) {
+	benchmarkEngine(b, true)
+}
+
+func benchmarkEngine(b *testing.B, checked bool) {
+	w, err := core.NPBWorkload("SP", npb.Params{Class: npb.ClassS, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(w, nil, core.Options{Check: checked}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

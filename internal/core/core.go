@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"tlbmap/internal/check"
 	"tlbmap/internal/comm"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/mem"
@@ -89,6 +90,12 @@ type Options struct {
 	MigrationInterval uint64
 	// Quantum overrides the trace batch size (0 = trace.DefaultQuantum).
 	Quantum int
+	// Check arms the internal/check invariant suite for the run: the
+	// sequential memory oracle, the MESI legality checker, the TLB/page
+	// table consistency checker and the counter-conservation checker. A
+	// violation surfaces as an error from the run. Roughly doubles the
+	// cost of a run; meant for validation, not for experiments.
+	Check bool
 }
 
 func (o Options) withDefaults() Options {
@@ -267,7 +274,12 @@ func buildTeam(programs []trace.Program, opt Options) *trace.Team {
 func runPrograms(programs []trace.Program, as *vm.AddressSpace, opt Options,
 	placement []int, det comm.Detector, mode tlb.Management) (*sim.Result, error) {
 	team := buildTeam(programs, opt)
+	var checker sim.Checker
+	if opt.Check {
+		checker = check.NewSuite()
+	}
 	return sim.Run(sim.Config{
+		Checker:    checker,
 		Machine:    opt.Machine,
 		L1:         opt.L1,
 		L2:         opt.L2,

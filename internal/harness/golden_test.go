@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the render/export golden files")
+
+// The fixtures below are fixed, hand-built results. They must never
+// change: the committed goldens pin the exact text and CSV layouts the
+// tables, figures and export files are rendered in, so any diff is a
+// deliberate format change (re-bless with -update) or a regression.
+
+// fixtureMatrix builds a deterministic n x n communication pattern with a
+// strong nearest-neighbour band, one distant pair, and zero cells.
+func fixtureMatrix(n int, scale uint64) *comm.Matrix {
+	m := comm.NewMatrix(n)
+	for i := 0; i+1 < n; i++ {
+		m.Add(i, i+1, scale*uint64(i+1))
+	}
+	m.Add(0, n-1, scale/2+1)
+	return m
+}
+
+func fixturePatterns() []PatternResult {
+	det := func(m *comm.Matrix) *core.Detection { return &core.Detection{Matrix: m} }
+	return []PatternResult{
+		{
+			Name:     "SP",
+			Expected: "nearest-neighbour",
+			SM:       det(fixtureMatrix(8, 1000)),
+			HM:       det(fixtureMatrix(8, 900)),
+			Oracle:   det(fixtureMatrix(8, 1100)),
+		},
+		{
+			Name:     "EP",
+			Expected: "none",
+			SM:       det(comm.NewMatrix(8)),
+			HM:       det(comm.NewMatrix(8)),
+			Oracle:   det(comm.NewMatrix(8)),
+		},
+	}
+}
+
+// fixtureStats folds a fixed run sequence into a MappingStats through the
+// same record path production uses.
+func fixtureStats(base uint64) *MappingStats {
+	st := &MappingStats{}
+	for rep := uint64(0); rep < 3; rep++ {
+		st.record(core.RunMetrics{
+			Cycles:        base * (10 + rep),
+			Invalidations: base/2 + 13*rep,
+			Snoops:        base + 29*rep,
+			L2Misses:      base/4 + 7*rep,
+			InterChip:     base / 8,
+		})
+	}
+	return st
+}
+
+func fixturePerf() []PerfResult {
+	return []PerfResult{
+		{
+			Name: "CG",
+			Stats: map[MappingLabel]*MappingStats{
+				OSLabel: fixtureStats(2_000_000),
+				SMLabel: fixtureStats(1_400_000),
+				HMLabel: fixtureStats(1_500_000),
+			},
+			PlacementSM: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			PlacementHM: []int{1, 0, 3, 2, 5, 4, 7, 6},
+		},
+		{
+			Name: "EP",
+			Stats: map[MappingLabel]*MappingStats{
+				OSLabel: fixtureStats(1_000_000),
+				SMLabel: fixtureStats(1_000_000),
+				HMLabel: fixtureStats(1_001_000),
+			},
+		},
+	}
+}
+
+func fixtureTable3() []Table3Row {
+	return []Table3Row{
+		{Name: "CG", MissRate: 0.0123, SampledFraction: 0.101, Overhead: 0.00042, Searches: 1234},
+		{Name: "EP", MissRate: 0.0004, SampledFraction: 0.098, Overhead: 0.00001, Searches: 17},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/harness -update` to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	patterns := fixturePatterns()
+	perf := fixturePerf()
+	for name, got := range map[string]string{
+		"table1.golden":          Table1(Config{}),
+		"table2.golden":          Table2(Config{}),
+		"patterns_sm.golden":     RenderPatterns(patterns, "SM"),
+		"patterns_oracle.golden": RenderPatterns(patterns, "oracle"),
+		"figure_time.golden":     RenderFigure(perf, "time"),
+		"figure_inv.golden":      RenderFigure(perf, "inv"),
+		"figure_snoop.golden":    RenderFigure(perf, "snoop"),
+		"figure_l2miss.golden":   RenderFigure(perf, "l2miss"),
+		"table3.golden":          RenderTable3(fixtureTable3()),
+		"table4.golden":          RenderTable4(perf),
+		"table5.golden":          RenderTable5(perf),
+		"hm_overhead.golden": RenderHMOverhead([]HMOverheadRow{
+			{Name: "CG", Interval: 100_000, Scans: 321, Overhead: 0.0031, PaperIntervalOverhead: 0.000031},
+		}),
+		"storage.golden": RenderStorageCost([]StorageRow{
+			{Name: "CG", Accesses: 4_000_000, TraceBytes: 48_000_000, MatrixBytes: 512},
+			{Name: "EP", Accesses: 1_000_000, TraceBytes: 12_000_000, MatrixBytes: 512},
+		}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			checkGolden(t, name, []byte(got))
+		})
+	}
+}
+
+func TestExportGolden(t *testing.T) {
+	t.Run("performance.csv.golden", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WritePerformanceCSV(&buf, fixturePerf()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "performance.csv.golden", buf.Bytes())
+	})
+	t.Run("patterns.csv.golden", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WritePatternsCSV(&buf, fixturePatterns()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "patterns.csv.golden", buf.Bytes())
+	})
+	t.Run("table3.csv.golden", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteTable3CSV(&buf, fixtureTable3()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "table3.csv.golden", buf.Bytes())
+	})
+}

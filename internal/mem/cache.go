@@ -203,6 +203,19 @@ func (c *Cache) Insert(l Line, s MESIState) Eviction {
 	return ev
 }
 
+// Each calls f for every resident line and its state, in set order. It does
+// not perturb LRU state; the invariant checkers use it to compare a cache's
+// actual contents against their shadow model.
+func (c *Cache) Each(f func(Line, MESIState)) {
+	for _, set := range c.sets {
+		for _, e := range set {
+			if e.state != Invalid {
+				f(e.line, e.state)
+			}
+		}
+	}
+}
+
 // Len returns the number of resident lines.
 func (c *Cache) Len() int {
 	n := 0

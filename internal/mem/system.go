@@ -50,6 +50,11 @@ type System struct {
 	// free; inter-chip transactions queue behind it.
 	fsbFreeAt uint64
 
+	// obs, when non-nil, receives every access and coherence transition
+	// (see Observer). All hook sites are nil-guarded so the disabled cost
+	// is one pointer comparison.
+	obs Observer
+
 	// frameNode records which NUMA node each physical frame's memory
 	// lives on (NUMA extension; nil map entries default to node 0).
 	// Only consulted on machines with NUMA nodes.
@@ -154,22 +159,35 @@ func (s *System) Read(core int, l Line, now uint64) uint64 {
 	ctr := s.ctr[core]
 	if s.l1s[core].Lookup(l) != Invalid {
 		ctr.Inc(metrics.L1Hits)
+		if s.obs != nil {
+			s.obs.OnRead(core, l, SrcL1, -1)
+		}
 		return s.l1cfg.Latency
 	}
 	ctr.Inc(metrics.L1Misses)
 	lat := s.l1cfg.Latency + s.l2cfg.Latency
 
+	src, supplier := SrcL2, -1
 	d := s.machine.L2Domain(core)
 	l2 := s.l2s[d]
 	if l2.Lookup(l) != Invalid {
 		ctr.Inc(metrics.L2Hits)
 	} else {
 		ctr.Inc(metrics.L2Misses)
-		lat += s.fetchLine(core, d, l, now, false)
+		var extra uint64
+		extra, src, supplier = s.fetchLine(core, d, l, now, false)
+		lat += extra
 	}
 	// Fill the L1; write-through L1s never hold dirty data, so the
 	// eviction is silent.
-	s.l1s[core].Insert(l, Shared)
+	ev := s.l1s[core].Insert(l, Shared)
+	if s.obs != nil {
+		if ev.Happened {
+			s.obs.OnL1Drop(core, ev.Line)
+		}
+		s.obs.OnL1Install(core, l)
+		s.obs.OnRead(core, l, src, supplier)
+	}
 	return lat
 }
 
@@ -186,6 +204,7 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 	}
 	lat := s.l1cfg.Latency + s.l2cfg.Latency
 
+	src, supplier := SrcL2, -1
 	d := s.machine.L2Domain(core)
 	l2 := s.l2s[d]
 	switch l2.Lookup(l) {
@@ -193,14 +212,22 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 		// Already owned; nothing to do.
 	case Exclusive:
 		l2.SetState(l, Modified)
+		if s.obs != nil {
+			s.obs.OnL2State(d, l, Exclusive, Modified)
+		}
 	case Shared:
 		// Upgrade: invalidate every remote copy (the MESI invalidation
 		// storm of Section III-A1 that a good mapping minimizes).
 		lat += s.invalidateRemote(core, d, l, now)
 		l2.SetState(l, Modified)
+		if s.obs != nil {
+			s.obs.OnL2State(d, l, Shared, Modified)
+		}
 	case Invalid:
 		ctr.Inc(metrics.L2Misses)
-		lat += s.fetchLine(core, d, l, now, true)
+		var extra uint64
+		extra, src, supplier = s.fetchLine(core, d, l, now, true)
+		lat += extra
 	}
 
 	// Keep sibling L1s inside the same L2 domain coherent: a store by one
@@ -208,7 +235,13 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 	for _, peer := range s.domainCores[d] {
 		if peer != core && s.l1s[peer].SetState(l, Invalid) {
 			ctr.Inc(metrics.Invalidations)
+			if s.obs != nil {
+				s.obs.OnL1Drop(peer, l)
+			}
 		}
+	}
+	if s.obs != nil {
+		s.obs.OnWrite(core, l, src, supplier)
 	}
 	return lat
 }
@@ -217,8 +250,9 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 // selects a BusRdX (write miss: remote copies are invalidated) versus a
 // BusRd (read miss: remote copies are downgraded to Shared). It returns the
 // extra latency beyond the L2 access and installs the line in the
-// requester's L2.
-func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) uint64 {
+// requester's L2, reporting where the data came from (SrcCache with the
+// supplying domain, or SrcMemory).
+func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uint64, Source, int) {
 	ctr := s.ctr[core]
 	var lat uint64
 	supplier := -1
@@ -242,8 +276,14 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) uint
 			// writes the dirty line back as part of the transfer.
 			if st == Modified {
 				ctr.Inc(metrics.MemoryWrites)
+				if s.obs != nil {
+					s.obs.OnWriteBack(d2, l)
+				}
 			}
 			s.l2s[d2].SetState(l, Shared)
+			if s.obs != nil {
+				s.obs.OnL2State(d2, l, st, Shared)
+			}
 		}
 	}
 
@@ -254,8 +294,10 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) uint
 		newState = Shared
 	}
 
+	src := SrcMemory
 	if supplier >= 0 {
 		// Cache-to-cache transfer: the snoop transaction of Figure 8.
+		src = SrcCache
 		ctr.Inc(metrics.SnoopTransactions)
 		rep := s.domainRep[supplier]
 		lat += s.machine.Latency(core, rep)
@@ -275,13 +317,24 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) uint
 	if ev.Happened {
 		if ev.State == Modified {
 			ctr.Inc(metrics.MemoryWrites)
+			if s.obs != nil {
+				s.obs.OnWriteBack(d, ev.Line)
+			}
+		}
+		if s.obs != nil {
+			s.obs.OnL2Evict(d, ev.Line, ev.State)
 		}
 		// Enforce inclusion: drop the evicted line from the domain's L1s.
 		for _, peer := range s.domainCores[d] {
-			s.l1s[peer].SetState(ev.Line, Invalid)
+			if s.l1s[peer].SetState(ev.Line, Invalid) && s.obs != nil {
+				s.obs.OnL1Drop(peer, ev.Line)
+			}
 		}
 	}
-	return lat
+	if s.obs != nil {
+		s.obs.OnL2Install(d, l, newState, src, supplier)
+	}
+	return lat, src, supplier
 }
 
 // invalidateRemote invalidates the line in every other L2 domain (and the
@@ -338,12 +391,25 @@ func (s *System) fsbAcquireFor(now, occupancy uint64) uint64 {
 // invalidateDomain drops a line from one L2 domain and its L1s, counting
 // each dropped copy as a coherence invalidation.
 func (s *System) invalidateDomain(ctr *metrics.Counters, d2 int, l Line) {
-	if s.l2s[d2].SetState(l, Invalid) {
-		ctr.Inc(metrics.Invalidations)
-	}
+	// Drop the L1 copies first so that, when the L2 invalidation event
+	// fires, the observers see the domain's invalidation as one atomic
+	// action with inclusion already restored.
 	for _, c2 := range s.domainCores[d2] {
 		if s.l1s[c2].SetState(l, Invalid) {
 			ctr.Inc(metrics.Invalidations)
+			if s.obs != nil {
+				s.obs.OnL1Drop(c2, l)
+			}
+		}
+	}
+	var old MESIState
+	if s.obs != nil {
+		old = s.l2s[d2].Probe(l)
+	}
+	if s.l2s[d2].SetState(l, Invalid) {
+		ctr.Inc(metrics.Invalidations)
+		if s.obs != nil {
+			s.obs.OnL2State(d2, l, old, Invalid)
 		}
 	}
 }

@@ -99,8 +99,16 @@ func (e Event) String() string {
 }
 
 // Counters is a fixed-size bank of event counters. The zero value is ready
-// to use. Counters is not safe for concurrent use; each simulated core owns
-// its own bank and banks are merged after a run.
+// to use.
+//
+// Locking contract: Counters is NOT safe for concurrent use. Each simulated
+// core owns one bank, the engine serializes all accesses within a run, and
+// banks are merged (Merge/Snapshot) only after the run quiesces — this is
+// also the point where the conservation checker (internal/check) reads
+// them, so checker reads never race with engine writes. Host-level
+// parallelism (internal/runner) is across runs, never within one, so
+// distinct runs never share a bank. Anything that genuinely needs
+// cross-goroutine reporting into a single bank must use SharedCounters.
 type Counters struct {
 	counts [numEvents]uint64
 }
@@ -175,6 +183,8 @@ func (c *Counters) String() string {
 // SharedCounters wraps Counters with a mutex for the few places where
 // multiple simulated components report into one bank (e.g. the coherence
 // bus shared by all cores when the engine is run with host parallelism).
+// All methods are safe for concurrent use; increments are never lost and
+// Snapshot returns an atomically consistent copy of the whole bank.
 type SharedCounters struct {
 	mu sync.Mutex
 	c  Counters

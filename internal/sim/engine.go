@@ -77,6 +77,13 @@ type Config struct {
 	// JitterAmp is the relative amplitude of compute-time noise; zero
 	// selects the default of 0.05 (5%).
 	JitterAmp float64
+	// Checker, when non-nil, arms the runtime invariant-checking layer
+	// (internal/check): the engine reports every access, migration and
+	// the final result, and — if the checker also implements
+	// mem.Observer — the memory hierarchy reports every coherence
+	// transition. Any violation aborts the run with an error. Nil (the
+	// default) costs one pointer comparison per access.
+	Checker Checker
 }
 
 // Result carries everything a run produced.
@@ -180,6 +187,21 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 	missCost := uint64(vm.WalkCost)
 	if cfg.TLBMode == tlb.SoftwareManaged {
 		missCost = vm.TrapCost
+	}
+
+	if cfg.Checker != nil {
+		if obs, ok := cfg.Checker.(mem.Observer); ok {
+			system.SetObserver(obs)
+		}
+		cfg.Checker.Begin(CheckEnv{
+			Machine:         cfg.Machine,
+			AS:              as,
+			System:          system,
+			TLB:             func(core int) *tlb.TLB { return hier[core].L1() },
+			View:            tlbs,
+			Placement:       placement,
+			SoftwareManaged: cfg.TLBMode == tlb.SoftwareManaged,
+		})
 	}
 
 	var rng *rand.Rand
@@ -319,6 +341,11 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 					}
 					copy(placement, next)
 					rebuildView()
+					if cfg.Checker != nil {
+						if err := cfg.Checker.OnMigration(st.clock, placement); err != nil {
+							return nil, fmt.Errorf("sim: check after migration: %w", err)
+						}
+					}
 				}
 			}
 		}
@@ -385,6 +412,11 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		} else {
 			st.clock += system.Write(core, line, st.clock)
 		}
+		if cfg.Checker != nil {
+			if err := cfg.Checker.OnAccess(i, core, ev, frame); err != nil {
+				return nil, fmt.Errorf("sim: check after access %d (thread %d): %w", accesses, i, err)
+			}
+		}
 	}
 
 	// Assemble the result.
@@ -416,6 +448,11 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 	}
 	if res.Cycles > 0 {
 		res.DetectionOverhead = float64(detectionCycles) / float64(res.Cycles)
+	}
+	if cfg.Checker != nil {
+		if err := cfg.Checker.Finish(res); err != nil {
+			return nil, fmt.Errorf("sim: final check: %w", err)
+		}
 	}
 	return res, nil
 }

@@ -163,6 +163,19 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 	return evicted, wasEvicted
 }
 
+// Peek returns the frame a resident page maps to without perturbing LRU
+// state or the hit/miss statistics — the inspection path of the
+// TLB-consistency checker, which must not disturb what it validates.
+func (t *TLB) Peek(p vm.Page) (vm.Frame, bool) {
+	set := t.sets[t.SetOf(p)]
+	for i := range set {
+		if set[i].valid && set[i].page == p {
+			return set[i].frame, true
+		}
+	}
+	return 0, false
+}
+
 // Contains reports whether a page is resident without perturbing LRU state.
 // This is the probe the SM detector uses against remote TLB mirrors; it
 // inspects only the page's set, costing Ways comparisons (the Θ(P) search

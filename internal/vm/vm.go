@@ -143,6 +143,18 @@ func (as *AddressSpace) Translate(addr Addr) (Translation, error) {
 	return Translation{Page: p, Frame: f}, nil
 }
 
+// Lookup resolves a page's frame without counting a walk — the inspection
+// path used by the TLB-consistency checker, which must not perturb the
+// Walks() statistics it is validating.
+func (as *AddressSpace) Lookup(p Page) (Frame, bool) {
+	tbl, ok := as.directory[uint64(p)>>pteTableBits]
+	if !ok {
+		return 0, false
+	}
+	f, ok := tbl[uint64(p)&(1<<pteTableBits-1)]
+	return f, ok
+}
+
 // Mapped reports whether the page containing addr has a translation,
 // without counting a walk.
 func (as *AddressSpace) Mapped(addr Addr) bool {
