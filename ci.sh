@@ -7,8 +7,10 @@ set -eux
 
 go vet ./...
 go build ./...
-go test -shuffle=on ./...
-go test -race ./...
+# -timeout turns a wedged test (deadlocked worker, unbounded retry) into
+# a failure instead of a hung CI run.
+go test -timeout 10m -shuffle=on ./...
+go test -timeout 15m -race ./...
 
 # Coverage floor: the simulator core (engine + memory hierarchy) is what
 # every reported number rests on; its statement coverage must not drop
@@ -24,6 +26,16 @@ go tool cover -func=/tmp/tlbmap-cover.out | awk '
 		}
 	}'
 
-# Fuzz smoke: run the differential fuzz target briefly on top of its
-# committed corpus. Full fuzzing is manual (go test -fuzz ...).
-go test ./internal/check -run=NONE -fuzz=FuzzEngineVsOracle -fuzztime=10s
+# Fault smoke: every injection scenario end-to-end through the CLI with
+# the runtime invariant checkers armed. Faults may perturb timing and
+# detection only — an invariant violation here means one leaked into
+# architectural state.
+for sc in shootdown migflush scandrop sampleloss preempt decay all; do
+	go run ./cmd/tlbmap -bench CG -class S -mech SM -check -faults "$sc:1" >/dev/null
+	go run ./cmd/tlbmap -bench CG -class S -mech HM -check -faults "$sc:1" >/dev/null
+done
+
+# Fuzz smoke: run the differential fuzz targets briefly on top of their
+# committed corpora. Full fuzzing is manual (go test -fuzz ...).
+go test ./internal/check -run=NONE -fuzz='FuzzEngineVsOracle$' -fuzztime=10s
+go test ./internal/check -run=NONE -fuzz=FuzzEngineVsOracleFaults -fuzztime=10s

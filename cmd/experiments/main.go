@@ -4,13 +4,26 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare]
+//	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare|faults]
 //	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
 //	            [-seed N] [-parallel N] [-csv DIR] [-check] [-v]
+//	            [-faults SPEC] [-fault-seed N] [-fault-rates R1,R2,...] [-job-timeout D]
 //
 // -check arms the internal/check invariant suite (sequential memory
 // oracle, MESI legality, TLB consistency, counter conservation) on every
 // simulation job; an invariant violation aborts the experiment.
+//
+// -faults arms the fault-injection layer on every simulation job. SPEC is
+// a comma-separated scenario[:rate] list, e.g. "shootdown,scandrop:0.8"
+// or "all:0.3"; scenarios are shootdown, migflush, scandrop, sampleloss,
+// preempt, decay. "-exp faults" runs the graceful-degradation study
+// instead: it sweeps -fault-rates over the armed plan (default all:1)
+// across SM/HM detection on a UMA and a NUMA machine and prints the
+// fault-rate -> mapping-quality/slowdown curve.
+//
+// Ctrl-C cancels in-flight simulations promptly; -job-timeout (e.g. 90s)
+// additionally bounds each fault-study cell, turning a wedged cell into a
+// reported failure instead of a hung run.
 //
 // Independent simulation jobs fan out over -parallel workers (0 = one per
 // CPU). Output is bit-identical at every worker count: each job's seed is
@@ -19,14 +32,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"tlbmap/internal/core"
+	"tlbmap/internal/fault"
 	"tlbmap/internal/harness"
 	"tlbmap/internal/npb"
 	"tlbmap/internal/runner"
@@ -36,18 +54,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig9, hm-overhead, storage, compare)")
-		suite   = flag.String("suite", "npb", "workload suite: npb (the paper) or splash (extension)")
-		class   = flag.String("class", "W", "problem class: S (tiny) or W (evaluation scale)")
-		reps    = flag.Int("reps", 10, "repetitions per mapping for tables IV/V (paper: 100)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		exp      = flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig9, hm-overhead, storage, compare, faults)")
+		suite    = flag.String("suite", "npb", "workload suite: npb (the paper) or splash (extension)")
+		class    = flag.String("class", "W", "problem class: S (tiny) or W (evaluation scale)")
+		reps     = flag.Int("reps", 10, "repetitions per mapping for tables IV/V (paper: 100)")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		parallel = flag.Int("parallel", 0, "worker goroutines for simulation jobs (0 = one per CPU, 1 = sequential; output is identical at any value)")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		chk      = flag.Bool("check", false, "arm the runtime invariant checkers on every simulation job; slower")
 		verbose  = flag.Bool("v", false, "print progress (jobs done/total and per-job simulated cycles)")
+
+		faults     = flag.String("faults", "", "fault scenarios to arm on every job: scenario[:rate],... or all[:rate]")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault-injection RNG streams")
+		faultRates = flag.String("fault-rates", "0,0.25,0.5,1", "rate sweep of the -exp faults degradation study")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-cell timeout of the -exp faults study (0 = none), e.g. 90s")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels in-flight simulation jobs through the engine's
+	// interrupt hook and the hardened runner's context.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	plan, err := fault.ParsePlan(*faults, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	workers := *parallel
 	if workers <= 0 {
@@ -59,7 +92,7 @@ func main() {
 		Repetitions: *reps,
 		Seed:        *seed,
 		Parallel:    workers,
-		Options:     core.Options{Check: *chk},
+		Options:     core.Options{Check: *chk, Faults: plan, Interrupt: ctx.Done()},
 	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
@@ -73,10 +106,58 @@ func main() {
 	if *verbose {
 		cfg.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
+	if !plan.Empty() {
+		fmt.Printf("fault injection armed on every job: %s (seed %d)\n", plan, plan.Seed)
+	}
 
+	if strings.ToLower(*exp) == "faults" {
+		if err := runFaultStudy(ctx, cfg, plan, *faultRates, *jobTimeout, *csvDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(cfg, strings.ToLower(*exp), *csvDir); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runFaultStudy drives the -exp faults degradation sweep.
+func runFaultStudy(ctx context.Context, cfg harness.Config, plan fault.Plan, rateSpec string, jobTimeout time.Duration, csvDir string) error {
+	var rates []float64
+	for _, s := range strings.Split(rateSpec, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil || r < 0 || r > 1 {
+			return fmt.Errorf("bad fault rate %q (want numbers in [0,1])", s)
+		}
+		rates = append(rates, r)
+	}
+	scfg := harness.FaultStudyConfig{
+		Config:     cfg,
+		Plan:       plan,
+		Rates:      rates,
+		JobTimeout: jobTimeout,
+	}
+	// The study arms its own per-cell plans; don't double-inject.
+	scfg.Options.Faults = fault.Plan{}
+	rows, failed, err := harness.RunFaultStudy(ctx, scfg)
+	if err != nil {
+		return err
+	}
+	for _, f := range failed {
+		log.Printf("warning: study cell failed: %v", f)
+	}
+	fmt.Print(harness.RenderFaultStudy(rows))
+	if csvDir != "" {
+		if err := writeCSV(csvDir, "fault_study.csv", func(f *os.File) error {
+			return harness.WriteFaultStudyCSV(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeCSV writes one CSV artifact into dir.

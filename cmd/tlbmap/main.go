@@ -8,10 +8,17 @@
 //	tlbmap -bench SP [-suite npb|splash] [-mech SM|HM|oracle] [-class S|W]
 //	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N]
 //	       [-seed N] [-reps N] [-parallel N] [-check] [-v]
+//	       [-faults SPEC] [-fault-seed N]
 //
 // -check arms the internal/check invariant suite (sequential memory
 // oracle, MESI legality, TLB consistency, counter conservation) on every
 // simulated run; an invariant violation aborts with a diagnostic.
+//
+// -faults arms the fault-injection layer on every simulated run: SPEC is
+// a comma-separated scenario[:rate] list (shootdown, migflush, scandrop,
+// sampleloss, preempt, decay; "all" arms everything), e.g.
+// "sampleloss:0.5,shootdown" or "all:0.3". The detection phase reports
+// how many faults fired. Ctrl-C cancels an in-flight simulation promptly.
 //
 // The OS baseline draws a fresh random placement per repetition (-reps);
 // the mapped run and the baseline repetitions are independent simulation
@@ -21,13 +28,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"tlbmap/internal/core"
+	"tlbmap/internal/fault"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/npb"
 	"tlbmap/internal/runner"
@@ -51,6 +62,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker goroutines for evaluation jobs (0 = one per CPU)")
 		chk      = flag.Bool("check", false, "arm the runtime invariant checkers (oracle, MESI, TLB, conservation); slower")
 		verbose  = flag.Bool("v", false, "print job progress")
+
+		faults    = flag.String("faults", "", "fault scenarios to arm: scenario[:rate],... or all[:rate]")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault-injection RNG streams")
 	)
 	flag.Parse()
 	if *reps < 1 {
@@ -102,9 +116,23 @@ func main() {
 		log.Fatalf("unknown suite %q", *suite)
 	}
 	_ = err
-	opt := core.Options{Machine: machine, SampleEvery: *sample, ScanInterval: *interval, Check: *chk}
+	plan, err := fault.ParsePlan(*faults, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ctrl-C cancels in-flight simulations through the engine's interrupt
+	// hook.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	opt := core.Options{
+		Machine: machine, SampleEvery: *sample, ScanInterval: *interval,
+		Check: *chk, Faults: plan, Interrupt: ctx.Done(),
+	}
 	if *chk {
 		fmt.Println("runtime invariant checkers armed: any violation aborts the run")
+	}
+	if !plan.Empty() {
+		fmt.Printf("fault injection armed: %s (seed %d)\n", plan, plan.Seed)
 	}
 
 	fmt.Printf("== %s (%s): detecting communication pattern with %s ==\n", name, descr, *mech)
@@ -114,6 +142,9 @@ func main() {
 	}
 	fmt.Printf("accesses: %d, cycles: %d, TLB miss rate: %.4f%%, detection overhead: %.4f%%\n",
 		det.Result.Accesses, det.Result.Cycles, det.Result.TLBMissRate*100, det.Result.DetectionOverhead*100)
+	if !plan.Empty() {
+		fmt.Printf("faults injected during detection: %s\n", det.FaultStats)
+	}
 	fmt.Println("communication matrix:")
 	fmt.Println(det.Matrix.Heatmap())
 

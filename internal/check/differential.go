@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tlbmap/internal/comm"
+	"tlbmap/internal/fault"
 	"tlbmap/internal/sim"
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/topology"
@@ -63,6 +64,13 @@ type DiffConfig struct {
 	// STLB adds the Nehalem second-level TLB (hardware-managed runs
 	// only), covering the two-level refill path.
 	STLB bool
+	// Faults, when non-empty, arms the fault-injection layer on the run:
+	// the adversarial workload executes under injected TLB shootdowns,
+	// migration flushes, dropped scans, lost samples, preemption bursts
+	// and matrix corruption — and the invariant suite must STILL hold,
+	// proving faults perturb detection fidelity only, never
+	// architectural state.
+	Faults fault.Plan
 }
 
 // DiffReport carries the outcome of one differential run.
@@ -71,6 +79,8 @@ type DiffReport struct {
 	Seed       int64
 	Result     *sim.Result
 	Violations []Violation
+	// FaultStats counts the injections performed when Faults was armed.
+	FaultStats fault.Stats
 }
 
 // Differential generates the configured adversarial workload, runs the
@@ -113,7 +123,9 @@ func Differential(cfg DiffConfig) (*DiffReport, error) {
 	default:
 		return nil, fmt.Errorf("check: unknown mechanism %q", cfg.Mechanism)
 	}
-	simCfg.Detector = det
+	inj := fault.New(cfg.Faults, n)
+	simCfg.Perturber = inj.Perturber()
+	simCfg.Detector = inj.WrapDetector(det)
 	if cfg.STLB && simCfg.TLBMode == tlb.HardwareManaged {
 		simCfg.TLB2 = tlb.DefaultL2Config
 	}
@@ -131,7 +143,13 @@ func Differential(cfg DiffConfig) (*DiffReport, error) {
 	}
 
 	res, err := sim.Run(simCfg, as, team)
-	rep := &DiffReport{Pattern: cfg.Pattern, Seed: cfg.Seed, Result: res, Violations: suite.Violations()}
+	rep := &DiffReport{
+		Pattern:    cfg.Pattern,
+		Seed:       cfg.Seed,
+		Result:     res,
+		Violations: suite.Violations(),
+		FaultStats: inj.Stats(),
+	}
 	if err != nil {
 		return rep, err
 	}

@@ -48,6 +48,18 @@ func (m *Matrix) Add(i, j int, w uint64) {
 // Inc accumulates one unit of communication between threads i and j.
 func (m *Matrix) Inc(i, j int) { m.Add(i, j, 1) }
 
+// Set overwrites the communication between threads i and j, keeping the
+// matrix symmetric. Setting the diagonal is a no-op. Detectors only ever
+// accumulate; Set exists for matrix post-processing — fixtures, and the
+// fault layer's bit-decay/saturation corruption.
+func (m *Matrix) Set(i, j int, w uint64) {
+	if i == j {
+		return
+	}
+	m.cells[i*m.n+j] = w
+	m.cells[j*m.n+i] = w
+}
+
 // Total returns the sum over the upper triangle (each pair counted once).
 func (m *Matrix) Total() uint64 {
 	var t uint64

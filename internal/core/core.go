@@ -24,6 +24,7 @@ import (
 
 	"tlbmap/internal/check"
 	"tlbmap/internal/comm"
+	"tlbmap/internal/fault"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/mem"
 	"tlbmap/internal/metrics"
@@ -96,6 +97,21 @@ type Options struct {
 	// violation surfaces as an error from the run. Roughly doubles the
 	// cost of a run; meant for validation, not for experiments.
 	Check bool
+	// Faults arms the fault-injection layer (internal/fault) on the run:
+	// the named scenarios perturb the TLB/detection path at the plan's
+	// intensities and seed. The empty plan (the default) arms nothing
+	// and costs nothing.
+	Faults fault.Plan
+	// Interrupt, when non-nil, is polled by the engine; closing it
+	// cancels an in-flight run with sim.ErrInterrupted. The CLIs wire
+	// Ctrl-C here; the hardened runner wires per-job timeouts.
+	Interrupt <-chan struct{}
+	// MinConfidence overrides the online controller's graceful-
+	// degradation gate in EvaluateWithDynamicMigration: 0 selects
+	// mapping.DefaultMinConfidence, a negative value disables the gate
+	// (the pre-degradation thrash-on-noise behaviour, kept for
+	// comparison runs).
+	MinConfidence float64
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +138,9 @@ type Detection struct {
 	// SampledFraction is the fraction of TLB misses that triggered an SM
 	// search (0 for other mechanisms) — Table III column 2.
 	SampledFraction float64
+	// FaultStats counts the injections performed when Options.Faults was
+	// armed (zero otherwise).
+	FaultStats fault.Stats
 }
 
 // newDetector instantiates the detector for a mechanism.
@@ -161,11 +180,11 @@ func Detect(w Workload, m Mechanism, opt Options) (*Detection, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPrograms(programs, as, opt, nil, det, tlbModeFor(m))
+	res, fstats, err := runPrograms(programs, as, opt, nil, det, tlbModeFor(m))
 	if err != nil {
 		return nil, err
 	}
-	d := &Detection{Mechanism: m, Matrix: res.Matrix, Result: res}
+	d := &Detection{Mechanism: m, Matrix: res.Matrix, Result: res, FaultStats: fstats}
 	if smd, ok := det.(*comm.SMDetector); ok {
 		d.SampledFraction = smd.SampledFraction()
 	}
@@ -185,13 +204,16 @@ func DetectAll(w Workload, opt Options) (sm, hm, oracle *Detection, err error) {
 	ord := comm.NewOracleDetector(n, comm.PageGranularity)
 	multi := comm.NewMultiDetector(smd, hmd, ord)
 	// Run on software-managed TLBs so the SM detector sees every miss.
-	res, err := runPrograms(programs, as, opt, nil, multi, tlb.SoftwareManaged)
+	// Faults armed here perturb the shared trap/timing path (shootdowns,
+	// lost samples, preemption); the matrix-publication faults only apply
+	// to published views, and DetectAll reads the children directly.
+	res, fstats, err := runPrograms(programs, as, opt, nil, multi, tlb.SoftwareManaged)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sm = &Detection{Mechanism: SM, Matrix: smd.Matrix(), Result: res, SampledFraction: smd.SampledFraction()}
-	hm = &Detection{Mechanism: HM, Matrix: hmd.Matrix(), Result: res}
-	oracle = &Detection{Mechanism: Oracle, Matrix: ord.Matrix(), Result: res}
+	sm = &Detection{Mechanism: SM, Matrix: smd.Matrix(), Result: res, SampledFraction: smd.SampledFraction(), FaultStats: fstats}
+	hm = &Detection{Mechanism: HM, Matrix: hmd.Matrix(), Result: res, FaultStats: fstats}
+	oracle = &Detection{Mechanism: Oracle, Matrix: ord.Matrix(), Result: res, FaultStats: fstats}
 	return sm, hm, oracle, nil
 }
 
@@ -211,7 +233,8 @@ func Evaluate(w Workload, placement []int, opt Options) (*sim.Result, error) {
 	opt = opt.withDefaults()
 	as := vm.NewAddressSpace()
 	programs := w(as)
-	return runPrograms(programs, as, opt, placement, comm.NullDetector{}, tlb.HardwareManaged)
+	res, _, err := runPrograms(programs, as, opt, placement, comm.NullDetector{}, tlb.HardwareManaged)
+	return res, err
 }
 
 // RunMetrics is the compact per-run summary the experiment tables
@@ -255,11 +278,11 @@ func EvaluateWithDetection(w Workload, placement []int, m Mechanism, opt Options
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPrograms(programs, as, opt, placement, det, tlbModeFor(m))
+	res, fstats, err := runPrograms(programs, as, opt, placement, det, tlbModeFor(m))
 	if err != nil {
 		return nil, err
 	}
-	d := &Detection{Mechanism: m, Matrix: res.Matrix, Result: res}
+	d := &Detection{Mechanism: m, Matrix: res.Matrix, Result: res, FaultStats: fstats}
 	if smd, ok := det.(*comm.SMDetector); ok {
 		d.SampledFraction = smd.SampledFraction()
 	}
@@ -272,13 +295,14 @@ func buildTeam(programs []trace.Program, opt Options) *trace.Team {
 }
 
 func runPrograms(programs []trace.Program, as *vm.AddressSpace, opt Options,
-	placement []int, det comm.Detector, mode tlb.Management) (*sim.Result, error) {
+	placement []int, det comm.Detector, mode tlb.Management) (*sim.Result, fault.Stats, error) {
 	team := buildTeam(programs, opt)
 	var checker sim.Checker
 	if opt.Check {
 		checker = check.NewSuite()
 	}
-	return sim.Run(sim.Config{
+	inj := fault.New(opt.Faults, opt.Machine.NumCores())
+	res, err := sim.Run(sim.Config{
 		Checker:    checker,
 		Machine:    opt.Machine,
 		L1:         opt.L1,
@@ -287,7 +311,10 @@ func runPrograms(programs []trace.Program, as *vm.AddressSpace, opt Options,
 		TLB2:       opt.TLB2,
 		TLBMode:    mode,
 		Placement:  placement,
-		Detector:   det,
+		Detector:   inj.WrapDetector(det),
+		Perturber:  inj.Perturber(),
+		Interrupt:  opt.Interrupt,
 		JitterSeed: opt.JitterSeed,
 	}, as, team)
+	return res, inj.Stats(), err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tlbmap/internal/comm"
+	"tlbmap/internal/fault"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/sim"
 	"tlbmap/internal/vm"
@@ -15,6 +16,15 @@ type MigrationReport struct {
 	Decisions []mapping.OnlineDecision
 	// Remaps is the number of placements the controller issued.
 	Remaps int
+	// Fallbacks is how many times low confidence made the controller
+	// retreat to the baseline placement (see mapping.OnlineMapper).
+	Fallbacks int
+	// FinalConfidence is the controller's pattern-stability score at the
+	// end of the run.
+	FinalConfidence float64
+	// FaultStats counts the injections performed when Options.Faults was
+	// armed (zero otherwise).
+	FaultStats fault.Stats
 }
 
 // EvaluateWithDynamicMigration runs the workload with the full online
@@ -25,7 +35,10 @@ type MigrationReport struct {
 // the engine migrates the threads mid-run (cold caches and TLBs included).
 //
 // The run starts on the identity placement, exactly like an application
-// whose initial placement nobody tuned.
+// whose initial placement nobody tuned. That placement doubles as the
+// controller's low-confidence fallback: when Options.Faults pollutes the
+// detected pattern past the confidence gate, the controller retreats to
+// what the OS would have done rather than chasing noise.
 func EvaluateWithDynamicMigration(w Workload, mech Mechanism, opt Options) (*MigrationReport, error) {
 	opt = opt.withDefaults()
 	as := vm.NewAddressSpace()
@@ -34,12 +47,28 @@ func EvaluateWithDynamicMigration(w Workload, mech Mechanism, opt Options) (*Mig
 	if err != nil {
 		return nil, err
 	}
+	// The online controller reads the wrapped detector's published view, so
+	// matrix-publication faults (dropped scans, bit decay) reach the
+	// controller exactly as they would reach a real migration daemon.
+	inj := fault.New(opt.Faults, opt.Machine.NumCores())
+	wrapped := inj.WrapDetector(det)
 
 	report := &MigrationReport{}
 	online := mapping.NewOnlineMapper(opt.Machine, 0.6)
+	identity := make([]int, opt.Machine.NumCores())
+	for i := range identity {
+		identity[i] = i
+	}
+	online.Fallback = identity
+	switch {
+	case opt.MinConfidence < 0:
+		online.MinConfidence = 0 // gate disabled
+	case opt.MinConfidence > 0:
+		online.MinConfidence = opt.MinConfidence
+	}
 	var prev *comm.Matrix
 	migrator := func(now uint64, placement []int) []int {
-		cur := det.Matrix()
+		cur := wrapped.Matrix()
 		if cur == nil {
 			return nil
 		}
@@ -65,7 +94,9 @@ func EvaluateWithDynamicMigration(w Workload, mech Mechanism, opt Options) (*Mig
 		TLB:               opt.TLB,
 		TLB2:              opt.TLB2,
 		TLBMode:           tlbModeFor(mech),
-		Detector:          det,
+		Detector:          wrapped,
+		Perturber:         inj.Perturber(),
+		Interrupt:         opt.Interrupt,
 		JitterSeed:        opt.JitterSeed,
 		Migrator:          migrator,
 		MigrationInterval: opt.MigrationInterval,
@@ -74,5 +105,8 @@ func EvaluateWithDynamicMigration(w Workload, mech Mechanism, opt Options) (*Mig
 		return nil, err
 	}
 	report.Result = res
+	report.Fallbacks = online.Fallbacks()
+	report.FinalConfidence = online.Confidence()
+	report.FaultStats = inj.Stats()
 	return report, nil
 }

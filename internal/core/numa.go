@@ -22,7 +22,7 @@ func MeasureTraceSize(w Workload, opt Options) (records, bytes uint64, err error
 	as := vm.NewAddressSpace()
 	programs := w(as)
 	rec := comm.NewTraceRecorder(len(programs), io.Discard)
-	if _, err = runPrograms(programs, as, opt, nil, rec, tlb.HardwareManaged); err != nil {
+	if _, _, err = runPrograms(programs, as, opt, nil, rec, tlb.HardwareManaged); err != nil {
 		return 0, 0, err
 	}
 	if err = rec.Flush(); err != nil {
@@ -47,7 +47,7 @@ func ProfileData(w Workload, opt Options) (*DataProfile, error) {
 	as := vm.NewAddressSpace()
 	programs := w(as)
 	det := comm.NewProfileDetector(len(programs))
-	res, err := runPrograms(programs, as, opt, nil, det, tlb.HardwareManaged)
+	res, _, err := runPrograms(programs, as, opt, nil, det, tlb.HardwareManaged)
 	if err != nil {
 		return nil, err
 	}

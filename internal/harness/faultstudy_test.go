@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"tlbmap/internal/core"
+	"tlbmap/internal/npb"
+)
+
+// fixtureFaultStudy is a fixed curve pinning the render/CSV layout: one
+// benchmark on both machines, SM only, three rates, with the last row
+// deliberately past the noise threshold so the DEGRADED verdict is pinned
+// too.
+func fixtureFaultStudy() []FaultStudyRow {
+	return []FaultStudyRow{
+		{Benchmark: "CG", Topology: "UMA", Mechanism: core.SM, Rate: 0, Similarity: 0.981, StaticSlowdown: 0.912, OnlineSlowdown: 0.998, Fallbacks: 0, Confidence: 0.97, Injections: 0},
+		{Benchmark: "CG", Topology: "UMA", Mechanism: core.SM, Rate: 0.5, Similarity: 0.704, StaticSlowdown: 0.957, OnlineSlowdown: 1.012, Fallbacks: 1, Confidence: 0.41, Injections: 1234},
+		{Benchmark: "CG", Topology: "NUMA", Mechanism: core.SM, Rate: 1, Similarity: 0.213, StaticSlowdown: 1.043, OnlineSlowdown: 1.087, Fallbacks: 2, Confidence: 0.18, Injections: 5678},
+	}
+}
+
+func TestFaultStudyGolden(t *testing.T) {
+	checkGolden(t, "fault_study.golden", []byte(RenderFaultStudy(fixtureFaultStudy())))
+}
+
+func TestFaultStudyCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFaultStudyCSV(&buf, fixtureFaultStudy()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fault_study.csv.golden", buf.Bytes())
+}
+
+func studyConfig() FaultStudyConfig {
+	return FaultStudyConfig{
+		Config: Config{
+			Class:      npb.ClassS,
+			Benchmarks: []string{"CG"},
+			Seed:       1,
+			Parallel:   4,
+			// The differential cross-check: every simulated run of the
+			// study carries the full invariant suite, so a fault leaking
+			// into architectural state fails the study itself.
+			Options: core.Options{Check: true, SampleEvery: 1, ScanInterval: 20_000},
+		},
+		Rates: []float64{0, 1},
+	}
+}
+
+// The live acceptance property of the robustness PR: across the whole
+// SM/HM × UMA/NUMA grid, at every fault rate, the confidence-gated online
+// mapper never ends up worse than the OS-style identity baseline beyond
+// the documented noise threshold — and detection quality visibly degrades
+// with the fault rate, so the study is measuring something real.
+func TestFaultStudyDegradesGracefully(t *testing.T) {
+	rows, failed, err := RunFaultStudy(context.Background(), studyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("study cells failed: %v", failed)
+	}
+	if want := 1 * 2 * 2 * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.OnlineSlowdown >= 1+FaultNoiseThreshold {
+			t.Errorf("%s/%s/%s rate %.2f: online slowdown %.3f past the noise threshold",
+				r.Benchmark, r.Topology, r.Mechanism, r.Rate, r.OnlineSlowdown)
+		}
+		if r.Rate == 0 && r.Injections != 0 {
+			t.Errorf("%s/%s/%s: rate 0 injected %d faults", r.Benchmark, r.Topology, r.Mechanism, r.Injections)
+		}
+		if r.Rate == 1 && r.Injections == 0 {
+			t.Errorf("%s/%s/%s: rate 1 injected nothing", r.Benchmark, r.Topology, r.Mechanism)
+		}
+	}
+	// Full-rate faults must cost detection quality relative to the clean
+	// run of the same cell (SampleLoss at intensity 1 blinds SM outright).
+	byCell := map[string]map[float64]FaultStudyRow{}
+	for _, r := range rows {
+		key := r.Topology + "/" + string(r.Mechanism)
+		if byCell[key] == nil {
+			byCell[key] = map[float64]FaultStudyRow{}
+		}
+		byCell[key][r.Rate] = r
+	}
+	for key, cell := range byCell {
+		clean, faulted := cell[0], cell[1]
+		if faulted.Similarity >= clean.Similarity {
+			t.Errorf("%s: similarity did not degrade (%.3f clean -> %.3f faulted)",
+				key, clean.Similarity, faulted.Similarity)
+		}
+	}
+}
+
+// Determinism: the same study config yields the same rows at any worker
+// count (the same property the rest of the harness guarantees).
+func TestFaultStudyDeterministic(t *testing.T) {
+	cfg := studyConfig()
+	cfg.Options.Check = false // half the cost; determinism is the point here
+	cfg.Rates = []float64{1}
+	a, _, err := RunFaultStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 1
+	b, _, err := RunFaultStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs across worker counts:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A cancelled context aborts the study promptly with the context's error.
+func TestFaultStudyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err := RunFaultStudy(ctx, studyConfig())
+	if err == nil {
+		t.Fatal("cancelled study returned no error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancelled study took %v to return", d)
+	}
+}

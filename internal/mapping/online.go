@@ -15,6 +15,22 @@ import (
 // detector and epoch length in use.
 const DefaultMinGain = 2_000
 
+// DefaultMinConfidence is the default graceful-degradation gate: when the
+// controller's confidence in the detected pattern falls below it, remaps
+// are suspended (see OnlineMapper.MinConfidence). 0.5 is chosen so a
+// single legitimate phase change (one epoch of zero similarity folded
+// into a confident history: 0.5·0 + 0.5·1 = 0.5) still passes the strict
+// < gate, while sustained noise — whose epoch-to-epoch similarity
+// fluctuates around zero — drains confidence well below it.
+const DefaultMinConfidence = 0.5
+
+// confidenceAlpha is the EWMA weight of the newest epoch-to-epoch
+// similarity sample in the confidence score: with 0.5, one clean epoch
+// after a noisy stretch recovers half the lost confidence, so the
+// controller neither flaps on a single bad window nor stays timid after
+// the noise has passed.
+const confidenceAlpha = 0.5
+
 // OnlineDecision describes what the controller chose to do after an epoch.
 type OnlineDecision struct {
 	// Remap is true when the controller issued a new placement.
@@ -24,11 +40,14 @@ type OnlineDecision struct {
 	// Migrations is the number of threads that had to move.
 	Migrations int
 	// Reason explains the decision ("phase change", "insufficient gain",
-	// "pattern stable", "warmup").
+	// "pattern stable", "warmup", "low confidence: ...").
 	Reason string
 	// PredictedGain is the reduction of the mapping cost function the new
 	// placement achieves on the epoch matrix (0 when not remapping).
 	PredictedGain uint64
+	// Confidence is the controller's pattern-stability score in [0, 1]
+	// after folding in this epoch (1 until two non-idle epochs exist).
+	Confidence float64
 }
 
 // OnlineMapper is the dynamic-migration controller of the paper's future
@@ -41,13 +60,30 @@ type OnlineMapper struct {
 	// MinGain is the remap hysteresis in mapping-cost units (see
 	// DefaultMinGain). Raise it to make the controller more conservative.
 	MinGain uint64
+	// MinConfidence is the graceful-degradation gate: the controller
+	// keeps an EWMA of the Pearson similarity between consecutive
+	// non-idle epoch matrices (its "confidence" that the detected
+	// pattern is signal, not noise). Below this gate it stops trusting
+	// the matrix — it holds the current placement, or adopts Fallback —
+	// instead of thrashing on a pattern that changes every epoch, which
+	// is exactly what fault-polluted detection looks like. 0 disables
+	// the gate; NewOnlineMapper sets DefaultMinConfidence.
+	MinConfidence float64
+	// Fallback, when non-nil, is the placement adopted while confidence
+	// is below the gate — typically the OS-scheduler baseline placement,
+	// making "detector too noisy to use" degrade to "what the system
+	// would do without detection" rather than to an arbitrary stale map.
+	Fallback []int
 
-	machine   *topology.Machine
-	mapper    Algorithm
-	tracker   *PhaseTracker
-	placement []int
-	remaps    int
-	decisions int
+	machine    *topology.Machine
+	mapper     Algorithm
+	tracker    *PhaseTracker
+	placement  []int
+	remaps     int
+	decisions  int
+	fallbacks  int
+	confidence float64
+	prevEpoch  *comm.Matrix
 }
 
 // NewOnlineMapper builds a controller for the machine using the paper's
@@ -59,11 +95,13 @@ func NewOnlineMapper(machine *topology.Machine, threshold float64) *OnlineMapper
 		identity[i] = i
 	}
 	return &OnlineMapper{
-		MinGain:   DefaultMinGain,
-		machine:   machine,
-		mapper:    NewEdmonds(),
-		tracker:   NewPhaseTracker(threshold),
-		placement: identity,
+		MinGain:       DefaultMinGain,
+		MinConfidence: DefaultMinConfidence,
+		machine:       machine,
+		mapper:        NewEdmonds(),
+		tracker:       NewPhaseTracker(threshold),
+		placement:     identity,
+		confidence:    1,
 	}
 }
 
@@ -72,8 +110,31 @@ func (o *OnlineMapper) Placement() []int {
 	return append([]int(nil), o.placement...)
 }
 
-// Remaps returns how many remaps the controller has issued.
+// Remaps returns how many gain-driven remaps the controller has issued
+// (fallback adoptions are counted separately by Fallbacks).
 func (o *OnlineMapper) Remaps() int { return o.remaps }
+
+// Fallbacks returns how many times low confidence made the controller
+// adopt the Fallback placement.
+func (o *OnlineMapper) Fallbacks() int { return o.fallbacks }
+
+// Confidence returns the current pattern-stability score in [0, 1].
+func (o *OnlineMapper) Confidence() float64 { return o.confidence }
+
+// observeConfidence folds one non-idle epoch into the confidence EWMA:
+// the sample is the Pearson similarity between this epoch's matrix and
+// the previous one, clamped at 0 (anti-correlation is as untrustworthy as
+// no correlation). Before two epochs exist, confidence stays at 1.
+func (o *OnlineMapper) observeConfidence(epoch *comm.Matrix) {
+	if o.prevEpoch != nil {
+		s := o.prevEpoch.Similarity(epoch)
+		if s < 0 {
+			s = 0
+		}
+		o.confidence = confidenceAlpha*s + (1-confidenceAlpha)*o.confidence
+	}
+	o.prevEpoch = epoch.Clone()
+}
 
 // Observe feeds one epoch's communication matrix and returns the decision.
 // Every non-idle epoch is evaluated against the current placement — even
@@ -82,11 +143,34 @@ func (o *OnlineMapper) Remaps() int { return o.remaps }
 // persists.
 func (o *OnlineMapper) Observe(epoch *comm.Matrix) (OnlineDecision, error) {
 	o.decisions++
-	keep := OnlineDecision{Placement: o.Placement()}
+	keep := OnlineDecision{Placement: o.Placement(), Confidence: o.confidence}
 	if epoch == nil || epoch.Total() == 0 {
 		keep.Reason = "idle epoch"
 		return keep, nil
 	}
+	o.observeConfidence(epoch)
+	keep.Confidence = o.confidence
+
+	// Graceful degradation: below the confidence gate the epoch matrix
+	// is treated as noise. Adopt the fallback placement if one is
+	// configured and not already in force; otherwise hold still.
+	if o.MinConfidence > 0 && o.confidence < o.MinConfidence {
+		if o.Fallback != nil && countMigrations(o.placement, o.Fallback) > 0 {
+			migrations := countMigrations(o.placement, o.Fallback)
+			o.placement = append([]int(nil), o.Fallback...)
+			o.fallbacks++
+			return OnlineDecision{
+				Remap:      true,
+				Placement:  o.Placement(),
+				Migrations: migrations,
+				Reason:     "low confidence: fallback to baseline placement",
+				Confidence: o.confidence,
+			}, nil
+		}
+		keep.Reason = "low confidence: holding placement"
+		return keep, nil
+	}
+
 	changed := o.tracker.Observe(epoch)
 	candidate, err := o.mapper.Map(epoch, o.machine)
 	if err != nil {
@@ -120,6 +204,7 @@ func (o *OnlineMapper) Observe(epoch *comm.Matrix) (OnlineDecision, error) {
 		Migrations:    migrations,
 		Reason:        reason,
 		PredictedGain: gain,
+		Confidence:    o.confidence,
 	}, nil
 }
 

@@ -1,0 +1,259 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A panicking job must come back as a *PanicError carrying the panic value
+// and a stack trace, not crash the pool, and every other job's result must
+// stay bit-identical to a panic-free run.
+func TestMapRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			results, failed := MapPartial(context.Background(), Pool{Workers: workers}, 8,
+				func(_ context.Context, i int) (int, error) {
+					if i == 3 {
+						panic("boom at job 3")
+					}
+					return i * i, nil
+				})
+			if len(failed) != 1 || failed[0].Index != 3 {
+				t.Fatalf("failed = %+v, want exactly job 3", failed)
+			}
+			var pe *PanicError
+			if !errors.As(failed[0], &pe) {
+				t.Fatalf("job 3 error = %v, want *PanicError", failed[0])
+			}
+			if pe.Value != "boom at job 3" {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if !strings.Contains(string(pe.Stack), "hardened_test.go") {
+				t.Errorf("stack does not point at the panic site:\n%s", pe.Stack)
+			}
+			for i, v := range results {
+				want := i * i
+				if i == 3 {
+					want = 0
+				}
+				if v != want {
+					t.Errorf("results[%d] = %d, want %d", i, v, want)
+				}
+			}
+		})
+	}
+}
+
+// Map (the fail-fast path) must also survive a panic and surface it as the
+// lowest-indexed error with its text intact.
+func TestMapFailFastPanic(t *testing.T) {
+	_, err := Map(Pool{Workers: 2}, 4, func(i int) (int, error) {
+		if i == 1 {
+			panic(errors.New("kaboom"))
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if got := err.Error(); got != "job panicked: kaboom" {
+		t.Errorf("err.Error() = %q", got)
+	}
+}
+
+// Cancelling the context must stop a deliberately slow job promptly
+// (satellite: Ctrl-C path): the job blocks on ctx.Done() the way a
+// simulation wired through sim.Config.Interrupt does, and MapCtx has to
+// return well before the job's natural 30s duration.
+func TestMapCtxCancelsSlowJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	begin := time.Now()
+	_, err := MapCtx(ctx, Pool{Workers: 2}, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			close(started)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(begin); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", d)
+	}
+}
+
+// A per-job timeout must fail a cooperative slow job with
+// DeadlineExceeded while letting fast jobs finish normally.
+func TestPerJobTimeout(t *testing.T) {
+	results, failed := MapPartial(context.Background(), Pool{Workers: 2, Timeout: 50 * time.Millisecond}, 4,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 2 {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return i + 10, nil
+		})
+	if len(failed) != 1 || failed[0].Index != 2 {
+		t.Fatalf("failed = %+v, want exactly job 2", failed)
+	}
+	if !errors.Is(failed[0], context.DeadlineExceeded) {
+		t.Errorf("job 2 error = %v, want DeadlineExceeded", failed[0])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if results[i] != i+10 {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], i+10)
+		}
+	}
+}
+
+// A non-cooperative job that ignores its context must still be abandoned
+// at the deadline rather than wedging the pool.
+func TestTimeoutAbandonsNonCooperativeJob(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, failed := MapPartial(context.Background(), Pool{Workers: 1, Timeout: 20 * time.Millisecond}, 1,
+		func(_ context.Context, _ int) (int, error) {
+			<-block
+			return 1, nil
+		})
+	if len(failed) != 1 || !errors.Is(failed[0], context.DeadlineExceeded) {
+		t.Fatalf("failed = %+v, want DeadlineExceeded", failed)
+	}
+}
+
+// Retries: a job that fails its first attempts must be retried exactly
+// Retries times with the configured deterministic backoff, succeed on a
+// later attempt, and leave no error behind.
+func TestRetryWithBackoff(t *testing.T) {
+	var calls atomic.Int64
+	var pauses []time.Duration
+	p := Pool{
+		Workers: 1,
+		Retries: 3,
+		Backoff: func(failures int) time.Duration {
+			pauses = append(pauses, time.Duration(failures)*time.Millisecond)
+			return time.Duration(failures) * time.Millisecond
+		},
+	}
+	results, err := MapCtx(context.Background(), p, 1, func(_ context.Context, i int) (int, error) {
+		if calls.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if results[0] != 42 {
+		t.Errorf("results[0] = %d", results[0])
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+	wantPauses := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond}
+	if len(pauses) != len(wantPauses) {
+		t.Fatalf("pauses = %v, want %v", pauses, wantPauses)
+	}
+	for i := range pauses {
+		if pauses[i] != wantPauses[i] {
+			t.Errorf("pause[%d] = %v, want %v", i, pauses[i], wantPauses[i])
+		}
+	}
+}
+
+// A job that keeps failing must exhaust its attempts and report the count.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	_, failed := MapPartial(context.Background(), Pool{Workers: 1, Retries: 2, Backoff: func(int) time.Duration { return 0 }}, 1,
+		func(_ context.Context, _ int) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("permanent")
+		})
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failed = %+v", failed)
+	}
+	if failed[0].Attempts != 3 || failed[0].Err.Error() != "permanent" {
+		t.Errorf("JobError = %+v", failed[0])
+	}
+	want := "job 0 failed after 3 attempt(s): permanent"
+	if failed[0].Error() != want {
+		t.Errorf("Error() = %q, want %q", failed[0].Error(), want)
+	}
+}
+
+// MapPartial must keep running past failures and return every surviving
+// result in job-index order, bit-identical at any worker count.
+func TestMapPartialOrderingAcrossWorkerCounts(t *testing.T) {
+	job := func(_ context.Context, i int) (int, error) {
+		if i%5 == 2 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i * 3, nil
+	}
+	ref, refFailed := MapPartial(context.Background(), Pool{Workers: 1}, 23, job)
+	for _, workers := range []int{2, 4, 8} {
+		got, gotFailed := MapPartial(context.Background(), Pool{Workers: workers}, 23, job)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+		if len(gotFailed) != len(refFailed) {
+			t.Fatalf("workers=%d: %d failures, want %d", workers, len(gotFailed), len(refFailed))
+		}
+		for i := range refFailed {
+			if gotFailed[i].Index != refFailed[i].Index {
+				t.Errorf("workers=%d: failure[%d].Index = %d, want %d",
+					workers, i, gotFailed[i].Index, refFailed[i].Index)
+			}
+		}
+	}
+}
+
+// DefaultBackoff must be pure and quadratic.
+func TestDefaultBackoff(t *testing.T) {
+	for k, want := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 40 * time.Millisecond, 3: 90 * time.Millisecond} {
+		if got := DefaultBackoff(k); got != want {
+			t.Errorf("DefaultBackoff(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// A pre-cancelled context must fail every job without calling fn.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := atomic.Int64{}
+	_, err := MapCtx(ctx, Pool{Workers: 4}, 16, func(_ context.Context, _ int) (int, error) {
+		called.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called.Load() != 0 {
+		t.Errorf("fn called %d times on a dead context", called.Load())
+	}
+}

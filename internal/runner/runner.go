@@ -15,19 +15,21 @@
 package runner
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers is the worker count used when a Pool's Workers field is
 // zero or negative: one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// Pool bounds the concurrency of a batch of jobs.
+// Pool bounds the concurrency of a batch of jobs and configures the
+// hardening applied to each job (all hardening fields zero = plain
+// fail-fast execution; panics are isolated regardless).
 type Pool struct {
 	// Workers is the number of worker goroutines; <= 0 selects
 	// DefaultWorkers(). 1 degenerates to sequential execution (jobs run
@@ -37,69 +39,35 @@ type Pool struct {
 	// the number of jobs finished so far and the total. Calls are
 	// serialized by the pool, but arrive from worker goroutines.
 	Progress func(done, total int)
+	// Timeout is the wall-clock budget of one job attempt; 0 means no
+	// limit. An attempt that exceeds it fails with
+	// context.DeadlineExceeded. The job function receives a context
+	// carrying the deadline; cooperative jobs (simulations wired through
+	// sim.Config.Interrupt) stop promptly, non-cooperative ones keep
+	// running detached until they return — their late result is
+	// discarded.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed job gets (0 = fail on
+	// the first error). Retries are not attempted after a cancellation.
+	Retries int
+	// Backoff returns the pause before retry attempt k (k counts failed
+	// attempts so far, starting at 1). It must be deterministic — a pure
+	// function of k — so a retried batch stays reproducible. Nil selects
+	// DefaultBackoff when Retries > 0.
+	Backoff func(failures int) time.Duration
 }
 
 // Map runs fn(0..n-1) on the pool and returns the n results in job-index
 // order. Jobs are dispatched in index order; when one fails, workers stop
 // claiming new jobs, already-claimed jobs run to completion, and Map
 // returns the error of the lowest-indexed failed job — which is the same
-// error a sequential run would hit first, at any worker count.
+// error a sequential run would hit first, at any worker count. A panicking
+// job is recovered and reported as a *PanicError carrying its stack; it
+// never takes down the pool.
 func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	results := make([]T, n)
-	errs := make([]error, n)
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		done   int
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-	)
-	finish := func() {
-		if p.Progress == nil {
-			return
-		}
-		mu.Lock()
-		done++
-		p.Progress(done, n)
-		mu.Unlock()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				v, err := fn(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-				} else {
-					results[i] = v
-				}
-				finish()
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return MapCtx(context.Background(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
 }
 
 // Run is Map without per-job results.

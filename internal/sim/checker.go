@@ -49,6 +49,12 @@ type CheckEnv struct {
 	System *mem.System
 	// TLB returns the first-level TLB physically attached to a core.
 	TLB func(core int) *tlb.TLB
+	// FlushTLB empties the full TLB hierarchy (L1 and, when present,
+	// STLB) physically attached to a core. Flushing is architecturally
+	// legal at any point — it models shootdowns and context-switch
+	// flushes — so this is the perturbation surface handed to the
+	// fault-injection layer; checkers normally only read.
+	FlushTLB func(core int)
 	// View is the detector-facing TLB view, indexed by THREAD. It must
 	// always mirror the physical TLBs: View[t] == TLB(Placement[t]).
 	View comm.TLBView

@@ -84,6 +84,20 @@ type Config struct {
 	// transition. Any violation aborts the run with an error. Nil (the
 	// default) costs one pointer comparison per access.
 	Checker Checker
+	// Perturber, when non-nil, arms the fault-injection layer
+	// (internal/fault): it may flush TLBs and stall threads at hook
+	// points (trace-quantum boundaries and migrations, off the per-event
+	// path), disturbing detection fidelity without ever touching
+	// architectural state. Nil (the default) costs nothing on the
+	// scheduler's hot loop.
+	Perturber Perturber
+	// Interrupt, when non-nil, is polled at trace-batch boundaries
+	// (every few hundred events per thread, off the per-event path);
+	// once it is closed (or delivers a value) the run stops with
+	// ErrInterrupted. The hardened runner wires a context's Done channel
+	// here so per-job timeouts and Ctrl-C cancel in-flight simulations
+	// promptly.
+	Interrupt <-chan struct{}
 }
 
 // Result carries everything a run produced.
@@ -189,19 +203,24 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		missCost = vm.TrapCost
 	}
 
+	env := CheckEnv{
+		Machine:         cfg.Machine,
+		AS:              as,
+		System:          system,
+		TLB:             func(core int) *tlb.TLB { return hier[core].L1() },
+		FlushTLB:        func(core int) { hier[core].Flush() },
+		View:            tlbs,
+		Placement:       placement,
+		SoftwareManaged: cfg.TLBMode == tlb.SoftwareManaged,
+	}
 	if cfg.Checker != nil {
 		if obs, ok := cfg.Checker.(mem.Observer); ok {
 			system.SetObserver(obs)
 		}
-		cfg.Checker.Begin(CheckEnv{
-			Machine:         cfg.Machine,
-			AS:              as,
-			System:          system,
-			TLB:             func(core int) *tlb.TLB { return hier[core].L1() },
-			View:            tlbs,
-			Placement:       placement,
-			SoftwareManaged: cfg.TLBMode == tlb.SoftwareManaged,
-		})
+		cfg.Checker.Begin(env)
+	}
+	if cfg.Perturber != nil {
+		cfg.Perturber.Begin(env)
 	}
 
 	var rng *rand.Rand
@@ -293,7 +312,31 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 			refill(i)
 		}
 		if st.idx >= len(st.batch.Events) {
-			// Batch exhausted: act on its terminator.
+			// Batch exhausted: act on its terminator. Batches are capped
+			// at trace.DefaultQuantum events, so this branch fires every
+			// few hundred events per thread — frequent enough for the
+			// cancellation poll and the fault-injection quantum hook,
+			// while keeping both entirely off the per-event path (hot-
+			// loop code measurably slows the scheduler even when the
+			// hooks are disarmed).
+			if cfg.Interrupt != nil {
+				select {
+				case <-cfg.Interrupt:
+					return nil, ErrInterrupted
+				default:
+				}
+			}
+			// Fault-injection hook: the perturber may flush TLBs through
+			// the env it was armed with and stall this thread
+			// (preemption), expanding per-event fault rates over the
+			// quantum's event count. st.clock is the global time
+			// watermark here, so injector decisions keyed on `now` are
+			// deterministic.
+			if cfg.Perturber != nil && st.idx > 0 {
+				if stall := cfg.Perturber.OnQuantum(st.clock, i, st.idx); stall > 0 {
+					st.clock += stall
+				}
+			}
 			switch {
 			case st.batch.Done:
 				st.done = true
@@ -333,14 +376,22 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 					if err := validatePlacement(next, n); err != nil {
 						return nil, fmt.Errorf("sim: migrator returned invalid placement: %w", err)
 					}
+					var moved []int
 					for th := range placement {
 						if placement[th] != next[th] {
 							states[th].clock += MigrationCost
 							migrations++
+							moved = append(moved, th)
 						}
 					}
 					copy(placement, next)
 					rebuildView()
+					// Perturb before checking, so the checker validates
+					// the post-fault state (context-switch TLB flushes
+					// are architecturally legal and must not trip it).
+					if cfg.Perturber != nil && len(moved) > 0 {
+						cfg.Perturber.OnMigration(st.clock, moved)
+					}
 					if cfg.Checker != nil {
 						if err := cfg.Checker.OnMigration(st.clock, placement); err != nil {
 							return nil, fmt.Errorf("sim: check after migration: %w", err)

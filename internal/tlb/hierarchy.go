@@ -94,6 +94,18 @@ func (h *Hierarchy) Invalidate(p vm.Page) {
 	}
 }
 
+// Flush empties every level, keeping the hit/miss statistics. This models
+// the full-TLB invalidations real systems suffer — context switches on
+// architectures without ASIDs, and broad shootdowns — and is what the
+// fault-injection layer calls to disturb a run: the next access to every
+// previously-resident page misses and re-walks.
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	if h.l2 != nil {
+		h.l2.Flush()
+	}
+}
+
 // L2Hits returns the number of L1 misses that hit in the second level.
 func (h *Hierarchy) L2Hits() uint64 { return h.l2Hits }
 
