@@ -35,6 +35,17 @@ for sc in shootdown migflush scandrop sampleloss preempt decay all; do
 	go run ./cmd/tlbmap -bench CG -class S -mech HM -check -faults "$sc:1" >/dev/null
 done
 
+# Bench smoke: one iteration of every benchmark, so a change that breaks a
+# benchmark (or the zero-allocation steady-state invariant, which is a
+# plain test and already ran above, but is cheap enough to re-check in
+# isolation with a clear name) fails here rather than on the next manual
+# scripts/bench.sh run. This stage checks that the benchmarks *run*; it
+# does not time anything — timing is scripts/bench.sh, whose output is the
+# committed BENCH_engine.json.
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkDetectors' -benchtime 1x ./internal/sim ./internal/comm >/dev/null
+go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x >/dev/null
+go test -run TestSteadyStateZeroAllocs ./internal/sim
+
 # Fuzz smoke: run the differential fuzz targets briefly on top of their
 # committed corpora. Full fuzzing is manual (go test -fuzz ...).
 go test ./internal/check -run=NONE -fuzz='FuzzEngineVsOracle$' -fuzztime=10s

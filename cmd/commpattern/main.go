@@ -7,6 +7,7 @@
 // Usage:
 //
 //	commpattern [-bench BT,CG,...] [-class S|W] [-seed N]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"tlbmap/internal/harness"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/prof"
 )
 
 func main() {
@@ -27,8 +29,15 @@ func main() {
 		suite   = flag.String("suite", "npb", "workload suite: npb or splash")
 		class   = flag.String("class", "W", "problem class: S or W")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		profiling = prof.Register(flag.CommandLine)
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := harness.Config{
 		Suite: strings.ToLower(*suite),

@@ -8,6 +8,7 @@
 //	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
 //	            [-seed N] [-parallel N] [-csv DIR] [-check] [-v]
 //	            [-faults SPEC] [-fault-seed N] [-fault-rates R1,R2,...] [-job-timeout D]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // -check arms the internal/check invariant suite (sequential memory
 // oracle, MESI legality, TLB consistency, counter conservation) on every
@@ -47,6 +48,7 @@ import (
 	"tlbmap/internal/fault"
 	"tlbmap/internal/harness"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/prof"
 	"tlbmap/internal/runner"
 )
 
@@ -69,8 +71,15 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault-injection RNG streams")
 		faultRates = flag.String("fault-rates", "0,0.25,0.5,1", "rate sweep of the -exp faults degradation study")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-cell timeout of the -exp faults study (0 = none), e.g. 90s")
+
+		profiling = prof.Register(flag.CommandLine)
 	)
 	flag.Parse()
+	stopProf, profErr := profiling.Start()
+	if profErr != nil {
+		log.Fatal(profErr)
+	}
+	defer stopProf()
 
 	// Ctrl-C cancels in-flight simulation jobs through the engine's
 	// interrupt hook and the hardened runner's context.

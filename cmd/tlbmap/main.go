@@ -9,6 +9,7 @@
 //	       [-topology harpertown|numa2|numa4] [-sample N] [-interval N]
 //	       [-seed N] [-reps N] [-parallel N] [-check] [-v]
 //	       [-faults SPEC] [-fault-seed N]
+//	       [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // -check arms the internal/check invariant suite (sequential memory
 // oracle, MESI legality, TLB consistency, counter conservation) on every
@@ -41,6 +42,7 @@ import (
 	"tlbmap/internal/fault"
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/npb"
+	"tlbmap/internal/prof"
 	"tlbmap/internal/runner"
 	"tlbmap/internal/splash"
 	"tlbmap/internal/topology"
@@ -65,8 +67,15 @@ func main() {
 
 		faults    = flag.String("faults", "", "fault scenarios to arm: scenario[:rate],... or all[:rate]")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault-injection RNG streams")
+
+		profiling = prof.Register(flag.CommandLine)
 	)
 	flag.Parse()
+	stopProf, profErr := profiling.Start()
+	if profErr != nil {
+		log.Fatal(profErr)
+	}
+	defer stopProf()
 	if *reps < 1 {
 		*reps = 1
 	}

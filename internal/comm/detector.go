@@ -197,11 +197,22 @@ func (d *HMDetector) MaybeScan(now uint64, tlbs TLBView) uint64 {
 	if len(tlbs) == 0 {
 		return HMScanCycles
 	}
+	// The simulated scan cost is always the full Θ(P²·S) HMScanCycles of
+	// Table I — the modelled OS compares every pair of sets. On the host
+	// side, a pair comparison against an empty set can never match, so we
+	// consult the TLBs' incremental occupancy counts and elide those
+	// MatchesInSet calls entirely; the matrix and the charged cycles are
+	// unchanged.
 	sets := tlbs[0].Config().Sets()
 	for i := 0; i < len(tlbs); i++ {
+		ti := tlbs[i]
 		for j := i + 1; j < len(tlbs); j++ {
+			tj := tlbs[j]
 			for s := 0; s < sets; s++ {
-				if n := tlb.MatchesInSet(tlbs[i], tlbs[j], s); n > 0 {
+				if ti.SetLen(s) == 0 || tj.SetLen(s) == 0 {
+					continue
+				}
+				if n := tlb.MatchesInSet(ti, tj, s); n > 0 {
 					d.matrix.Add(i, j, uint64(n))
 				}
 			}
@@ -251,8 +262,13 @@ const (
 type OracleDetector struct {
 	matrix      *Matrix
 	granularity Granularity
-	last        map[uint64]accessorHistory
-	accesses    uint64
+	// last maps block number -> accessor history. It is an open-addressing
+	// flat table rather than a Go map: the oracle touches it on every
+	// single access, and in-place updates through a pointer avoid both the
+	// map's hash/bucket overhead and the copy-out/copy-in of the history
+	// value.
+	last     *blockTable
+	accesses uint64
 }
 
 // historyDepth is the number of distinct recent accessors remembered per
@@ -313,7 +329,7 @@ func NewOracleDetector(n int, g Granularity) *OracleDetector {
 	return &OracleDetector{
 		matrix:      NewMatrix(n),
 		granularity: g,
-		last:        make(map[uint64]accessorHistory),
+		last:        newBlockTable(),
 	}
 }
 
@@ -331,17 +347,13 @@ func (d *OracleDetector) OnAccess(thread int, addr vm.Addr) {
 	} else {
 		block = uint64(addr) >> 6 // 64-byte lines
 	}
-	h, ok := d.last[block]
-	if !ok {
-		h = emptyHistory()
-	}
+	h := d.last.slot(block)
 	h.counter++
 	t := int32(thread)
 	if h.entries[0].thread == t {
 		// Consecutive accesses by the same thread are not communication;
 		// just refresh the stamp (the common fast path).
 		h.entries[0].seen = h.counter
-		d.last[block] = h
 		return
 	}
 	for i := range h.entries {
@@ -349,7 +361,7 @@ func (d *OracleDetector) OnAccess(thread int, addr vm.Addr) {
 			d.matrix.Inc(thread, int(h.entries[i].thread))
 		}
 	}
-	d.last[block] = h.push(t)
+	*h = h.push(t)
 }
 
 // Granularity returns the detector's sharing granularity.

@@ -95,10 +95,23 @@ type cacheEntry struct {
 // Cache is a set-associative cache with per-line MESI state and LRU
 // replacement. It is used for both L1s (which only ever hold lines in
 // Shared state because they are write-through) and L2s.
+//
+// Set storage is allocated lazily, one set on its first Insert: building a
+// paper-configuration 6 MiB L2 would otherwise zero ~2.4 MB of entries per
+// simulation run, and short runs touch a small fraction of the sets. The
+// lazy path is invisible to callers — a never-touched set behaves exactly
+// like a set full of Invalid entries.
 type Cache struct {
 	cfg   CacheConfig
-	sets  [][]cacheEntry
-	clock uint64
+	nsets uint64
+	mask  uint64 // nsets-1 when nsets is a power of two
+	pow2  bool
+	ways  int
+	// setBlock[s] is 1 + the block index of set s inside backing, or 0
+	// while the set is unallocated. Blocks are ways entries long.
+	setBlock []int32
+	backing  []cacheEntry
+	clock    uint64
 }
 
 // NewCache builds an empty cache; it panics on an invalid configuration,
@@ -107,24 +120,60 @@ func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]cacheEntry, cfg.Sets())
-	backing := make([]cacheEntry, cfg.Lines())
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	nsets := uint64(cfg.Sets())
+	return &Cache{
+		cfg:      cfg,
+		nsets:    nsets,
+		mask:     nsets - 1,
+		pow2:     nsets&(nsets-1) == 0,
+		ways:     cfg.Ways,
+		setBlock: make([]int32, nsets),
 	}
-	return &Cache{cfg: cfg, sets: sets}
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-func (c *Cache) setOf(l Line) int { return int(uint64(l) % uint64(c.cfg.Sets())) }
+func (c *Cache) setOf(l Line) int {
+	if c.pow2 {
+		return int(uint64(l) & c.mask)
+	}
+	return int(uint64(l) % c.nsets)
+}
+
+// setFor returns the entries of a set, or nil while the set is unallocated
+// (equivalent to a set holding only Invalid entries).
+func (c *Cache) setFor(s int) []cacheEntry {
+	b := c.setBlock[s]
+	if b == 0 {
+		return nil
+	}
+	off := int(b-1) * c.ways
+	return c.backing[off : off+c.ways : off+c.ways]
+}
+
+// allocSet materializes a set's backing storage on its first Insert.
+func (c *Cache) allocSet(s int) []cacheEntry {
+	off := len(c.backing)
+	for i := 0; i < c.ways; i++ {
+		c.backing = append(c.backing, cacheEntry{})
+	}
+	c.setBlock[s] = int32(off/c.ways) + 1
+	return c.backing[off : off+c.ways : off+c.ways]
+}
 
 // Lookup returns the MESI state of a line, refreshing its LRU position on a
-// hit. Invalid means a miss.
+// hit. Invalid means a miss. The set extraction is open-coded (rather than
+// going through setFor) because this is the single hottest function of the
+// memory model: every simulated access runs one L1 and often one L2 lookup.
 func (c *Cache) Lookup(l Line) MESIState {
 	c.clock++
-	set := c.sets[c.setOf(l)]
+	b := c.setBlock[c.setOf(l)]
+	if b == 0 {
+		return Invalid
+	}
+	off := int(b-1) * c.ways
+	set := c.backing[off : off+c.ways]
 	for i := range set {
 		if set[i].state != Invalid && set[i].line == l {
 			set[i].lru = c.clock
@@ -134,11 +183,38 @@ func (c *Cache) Lookup(l Line) MESIState {
 	return Invalid
 }
 
+// lookupEntry is Lookup returning the resident entry itself (nil on a
+// miss). The write path reads and then transitions the state of the same
+// entry; returning the entry saves the second set search SetState would
+// run. Clock advance and LRU refresh are identical to Lookup. The pointer
+// is valid until the next Insert into this cache.
+func (c *Cache) lookupEntry(l Line) *cacheEntry {
+	c.clock++
+	b := c.setBlock[c.setOf(l)]
+	if b == 0 {
+		return nil
+	}
+	off := int(b-1) * c.ways
+	set := c.backing[off : off+c.ways]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].lru = c.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
 // Probe returns the state of a line without touching LRU state — the
 // snooping path, which must not disturb the replacement order of the
 // snooped cache.
 func (c *Cache) Probe(l Line) MESIState {
-	set := c.sets[c.setOf(l)]
+	b := c.setBlock[c.setOf(l)]
+	if b == 0 {
+		return Invalid
+	}
+	off := int(b-1) * c.ways
+	set := c.backing[off : off+c.ways]
 	for i := range set {
 		if set[i].state != Invalid && set[i].line == l {
 			return set[i].state
@@ -151,14 +227,15 @@ func (c *Cache) Probe(l Line) MESIState {
 // downgrade M→S or an invalidation →I). It reports whether the line was
 // resident.
 func (c *Cache) SetState(l Line, s MESIState) bool {
-	set := c.sets[c.setOf(l)]
+	b := c.setBlock[c.setOf(l)]
+	if b == 0 {
+		return false
+	}
+	off := int(b-1) * c.ways
+	set := c.backing[off : off+c.ways]
 	for i := range set {
 		if set[i].state != Invalid && set[i].line == l {
-			if s == Invalid {
-				set[i].state = Invalid
-			} else {
-				set[i].state = s
-			}
+			set[i].state = s
 			return true
 		}
 	}
@@ -177,7 +254,11 @@ type Eviction struct {
 // that is already resident just updates its state and LRU position.
 func (c *Cache) Insert(l Line, s MESIState) Eviction {
 	c.clock++
-	set := c.sets[c.setOf(l)]
+	si := c.setOf(l)
+	set := c.setFor(si)
+	if set == nil {
+		set = c.allocSet(si)
+	}
 	victim := -1
 	for i := range set {
 		if set[i].state != Invalid && set[i].line == l {
@@ -207,8 +288,8 @@ func (c *Cache) Insert(l Line, s MESIState) Eviction {
 // not perturb LRU state; the invariant checkers use it to compare a cache's
 // actual contents against their shadow model.
 func (c *Cache) Each(f func(Line, MESIState)) {
-	for _, set := range c.sets {
-		for _, e := range set {
+	for s := range c.setBlock {
+		for _, e := range c.setFor(s) {
 			if e.state != Invalid {
 				f(e.line, e.state)
 			}
@@ -219,8 +300,8 @@ func (c *Cache) Each(f func(Line, MESIState)) {
 // Len returns the number of resident lines.
 func (c *Cache) Len() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, e := range set {
+	for s := range c.setBlock {
+		for _, e := range c.setFor(s) {
 			if e.state != Invalid {
 				n++
 			}
@@ -231,7 +312,8 @@ func (c *Cache) Len() int {
 
 // Flush invalidates every line without write-backs (test helper).
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
+	for s := range c.setBlock {
+		set := c.setFor(s)
 		for i := range set {
 			set[i].state = Invalid
 		}

@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a straightforward map-backed model of a set-associative LRU
+// cache, used to check that the lazily-allocated Cache behaves exactly like
+// an eagerly-zeroed one.
+type refCache struct {
+	cfg   CacheConfig
+	sets  [][]cacheEntry
+	clock uint64
+}
+
+func newRefCache(cfg CacheConfig) *refCache {
+	sets := make([][]cacheEntry, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]cacheEntry, cfg.Ways)
+	}
+	return &refCache{cfg: cfg, sets: sets}
+}
+
+func (c *refCache) setOf(l Line) int { return int(uint64(l) % uint64(c.cfg.Sets())) }
+
+func (c *refCache) lookup(l Line) MESIState {
+	c.clock++
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].lru = c.clock
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+func (c *refCache) insert(l Line, s MESIState) Eviction {
+	c.clock++
+	set := c.sets[c.setOf(l)]
+	victim := -1
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].state = s
+			set[i].lru = c.clock
+			return Eviction{}
+		}
+		if set[i].state == Invalid && victim == -1 {
+			victim = i
+		}
+	}
+	var ev Eviction
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		ev = Eviction{Line: set[victim].line, State: set[victim].state, Happened: true}
+	}
+	set[victim] = cacheEntry{line: l, state: s, lru: c.clock}
+	return ev
+}
+
+func (c *refCache) setState(l Line, s MESIState) bool {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			set[i].state = s
+			return true
+		}
+	}
+	return false
+}
+
+// TestLazyCacheMatchesEagerModel replays a random operation mix against the
+// production cache and the eager reference model and requires identical
+// results operation by operation — hits, states, LRU victims, evictions.
+func TestLazyCacheMatchesEagerModel(t *testing.T) {
+	for _, cfg := range []CacheConfig{
+		{SizeBytes: 4 << 10, Ways: 4, Latency: 2},  // 16 sets, power of two
+		{SizeBytes: 12 << 10, Ways: 4, Latency: 8}, // 48 sets, not a power of two
+	} {
+		c := NewCache(cfg)
+		ref := newRefCache(cfg)
+		rng := rand.New(rand.NewSource(7))
+		states := []MESIState{Shared, Exclusive, Modified}
+		for op := 0; op < 20000; op++ {
+			l := Line(rng.Intn(4 * cfg.Lines()))
+			switch rng.Intn(4) {
+			case 0:
+				if got, want := c.Lookup(l), ref.lookup(l); got != want {
+					t.Fatalf("cfg %+v op %d: Lookup(%d) = %v, want %v", cfg, op, l, got, want)
+				}
+			case 1:
+				st := states[rng.Intn(len(states))]
+				if got, want := c.Insert(l, st), ref.insert(l, st); got != want {
+					t.Fatalf("cfg %+v op %d: Insert(%d) eviction = %+v, want %+v", cfg, op, l, got, want)
+				}
+			case 2:
+				st := states[rng.Intn(len(states))]
+				if got, want := c.SetState(l, st), ref.setState(l, st); got != want {
+					t.Fatalf("cfg %+v op %d: SetState(%d) = %v, want %v", cfg, op, l, got, want)
+				}
+			case 3:
+				if got, want := c.Probe(l), probeRef(ref, l); got != want {
+					t.Fatalf("cfg %+v op %d: Probe(%d) = %v, want %v", cfg, op, l, got, want)
+				}
+			}
+		}
+		// Final content comparison through Each.
+		got := map[Line]MESIState{}
+		c.Each(func(l Line, s MESIState) { got[l] = s })
+		want := map[Line]MESIState{}
+		for _, set := range ref.sets {
+			for _, e := range set {
+				if e.state != Invalid {
+					want[e.line] = e.state
+				}
+			}
+		}
+		if len(got) != len(want) || c.Len() != len(want) {
+			t.Fatalf("cfg %+v: %d resident lines (Len %d), want %d", cfg, len(got), c.Len(), len(want))
+		}
+		for l, s := range want {
+			if got[l] != s {
+				t.Fatalf("cfg %+v: line %d state %v, want %v", cfg, l, got[l], s)
+			}
+		}
+	}
+}
+
+func probeRef(c *refCache, l Line) MESIState {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == l {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// TestLazyCacheAllocatesOnDemand checks that untouched sets consume no
+// entry storage and that Flush keeps working on a partially-allocated cache.
+func TestLazyCacheAllocatesOnDemand(t *testing.T) {
+	c := NewCache(DefaultL2Config)
+	if len(c.backing) != 0 {
+		t.Fatalf("fresh cache allocated %d entries", len(c.backing))
+	}
+	c.Insert(0, Shared)
+	c.Insert(1, Modified)
+	if want := 2 * DefaultL2Config.Ways; len(c.backing) != want {
+		t.Fatalf("backing holds %d entries after two inserts, want %d", len(c.backing), want)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Flush = %d, want 0", c.Len())
+	}
+	if c.Lookup(0) != Invalid {
+		t.Fatal("flushed line still resident")
+	}
+}

@@ -56,9 +56,12 @@ type System struct {
 	obs Observer
 
 	// frameNode records which NUMA node each physical frame's memory
-	// lives on (NUMA extension; nil map entries default to node 0).
-	// Only consulted on machines with NUMA nodes.
-	frameNode map[uint64]int
+	// lives on (NUMA extension). Frames are allocated densely from zero
+	// by the vm frame allocator, so a flat slice indexed by frame number
+	// replaces the former map on the per-fill path; frames beyond the
+	// slice default to node 0. Only consulted on machines with NUMA
+	// nodes.
+	frameNode []int32
 	numa      bool
 
 	l1cfg, l2cfg CacheConfig
@@ -95,9 +98,6 @@ func NewSystem(m *topology.Machine, l1cfg, l2cfg CacheConfig) *System {
 		s.domainRep[d] = s.domainCores[d][0]
 	}
 	s.numa = m.NUMANode(0) >= 0
-	if s.numa {
-		s.frameNode = make(map[uint64]int)
-	}
 	return s
 }
 
@@ -105,9 +105,22 @@ func NewSystem(m *topology.Machine, l1cfg, l2cfg CacheConfig) *System {
 // The engine calls it when a page is first walked, using the configured
 // data-placement policy. It is a no-op on UMA machines.
 func (s *System) PlaceFrame(frame uint64, node int) {
-	if s.numa {
-		s.frameNode[frame] = node
+	if !s.numa {
+		return
 	}
+	for uint64(len(s.frameNode)) <= frame {
+		s.frameNode = append(s.frameNode, 0)
+	}
+	s.frameNode[frame] = int32(node)
+}
+
+// nodeOf returns the NUMA node a frame's memory lives on (node 0 while
+// unplaced, matching the former map's zero value).
+func (s *System) nodeOf(frame uint64) int {
+	if frame < uint64(len(s.frameNode)) {
+		return int(s.frameNode[frame])
+	}
+	return 0
 }
 
 // NUMA reports whether the machine has NUMA nodes.
@@ -121,7 +134,7 @@ func (s *System) memFill(ctr *metrics.Counters, core int, l Line, now uint64) ui
 	lat += MemLatency
 	if s.numa {
 		frame := uint64(l) >> 6 // LineShift == 6, PageShift == 12
-		if s.frameNode[frame] == s.machine.NUMANode(core) {
+		if s.nodeOf(frame) == s.machine.NUMANode(core) {
 			ctr.Inc(metrics.LocalMemAccesses)
 		} else {
 			ctr.Inc(metrics.RemoteMemAccesses)
@@ -207,11 +220,19 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 	src, supplier := SrcL2, -1
 	d := s.machine.L2Domain(core)
 	l2 := s.l2s[d]
-	switch l2.Lookup(l) {
+	// One set search covers both the state read and the M-upgrade write
+	// (the entry pointer stays valid: nothing below inserts into this L2
+	// before the transition).
+	e := l2.lookupEntry(l)
+	st := Invalid
+	if e != nil {
+		st = e.state
+	}
+	switch st {
 	case Modified:
 		// Already owned; nothing to do.
 	case Exclusive:
-		l2.SetState(l, Modified)
+		e.state = Modified
 		if s.obs != nil {
 			s.obs.OnL2State(d, l, Exclusive, Modified)
 		}
@@ -219,7 +240,7 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 		// Upgrade: invalidate every remote copy (the MESI invalidation
 		// storm of Section III-A1 that a good mapping minimizes).
 		lat += s.invalidateRemote(core, d, l, now)
-		l2.SetState(l, Modified)
+		e.state = Modified
 		if s.obs != nil {
 			s.obs.OnL2State(d, l, Shared, Modified)
 		}

@@ -1,0 +1,102 @@
+// Package prof wires Go's standard profilers into the command-line tools.
+// Every CLI registers the same three flags — -cpuprofile, -memprofile and
+// -trace — so a slow run can be profiled in place:
+//
+//	tlbmap -bench SP -mech HM -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
+//
+// The package has no dependencies beyond the standard library and costs
+// nothing when the flags are unset.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the output paths of the three profilers.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register adds the profiling flags to a flag set (use flag.CommandLine for
+// the process-wide set) and returns the struct they populate.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins whichever profilers were requested and returns a stop function
+// that must run before the process exits (defer it right after flag.Parse).
+// The heap profile is captured inside stop, after a final GC, so it reflects
+// live memory at the end of the run.
+func (f *Flags) Start() (stop func(), err error) {
+	var stops []func()
+	fail := func(err error) (func(), error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("prof: %w", err))
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fail(fmt.Errorf("prof: start CPU profile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			file.Close()
+		})
+	}
+
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("prof: %w", err))
+		}
+		if err := trace.Start(file); err != nil {
+			file.Close()
+			return fail(fmt.Errorf("prof: start trace: %w", err))
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			file.Close()
+		})
+	}
+
+	if f.MemProfile != "" {
+		path := f.MemProfile
+		stops = append(stops, func() {
+			file, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer file.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(file); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+		})
+	}
+
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}

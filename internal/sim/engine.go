@@ -57,6 +57,11 @@ type Config struct {
 	// migrates the moved threads: they continue on their new cores with
 	// cold TLBs and caches (the natural migration penalty) plus
 	// MigrationCost cycles of context-switch overhead each.
+	//
+	// The placement slice handed to the Migrator is a scratch buffer the
+	// engine reuses between polls: it is only valid for the duration of
+	// the call and must not be retained (return a new slice — or the
+	// buffer itself, mutated — to request a migration).
 	Migrator func(now uint64, placement []int) []int
 	// MigrationInterval is the Migrator polling period in cycles
 	// (0 selects 500,000).
@@ -98,6 +103,12 @@ type Config struct {
 	// here so per-job timeouts and Ctrl-C cancel in-flight simulations
 	// promptly.
 	Interrupt <-chan struct{}
+	// useLinearPick forces the original Θ(threads) linear scheduler scan
+	// instead of the indexed min-heap ready queue. Test-only knob (the
+	// field is unexported; tests live in this package): the randomized
+	// differential test in sched_test.go runs every trace through both
+	// schedulers and asserts bit-identical event orders and Results.
+	useLinearPick bool
 }
 
 // Result carries everything a run produced.
@@ -232,9 +243,11 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		rng = rand.New(rand.NewSource(cfg.JitterSeed))
 	}
 
-	states := make([]*threadState, n)
+	// Thread states live in one flat slice (pointer-free apart from the
+	// batch) so the scheduler walks contiguous memory; the ready queue
+	// below indexes into it.
+	states := make([]threadState, n)
 	for i := range states {
-		states[i] = &threadState{}
 		if rng != nil {
 			// Stagger thread start-up like a real runtime would.
 			states[i].clock = uint64(rng.Intn(2048))
@@ -243,9 +256,9 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 
 	var detectionCycles, accesses uint64
 	detCtr := make([]uint64, n) // per-core detection cycles (already in clock)
-	var placed map[vm.Frame]bool
+	var placed *frameBitset
 	if cfg.PageNode != nil {
-		placed = make(map[vm.Frame]bool)
+		placed = newFrameBitset(as.MappedPages())
 	}
 	migInterval := cfg.MigrationInterval
 	if migInterval == 0 {
@@ -254,24 +267,30 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 	var lastMigCheck uint64
 	migArmed := false
 	migrations := 0
+	// Scratch buffers for the migration poll, reused across polls so an
+	// armed Migrator that declines to move anyone costs no allocation.
+	var migScratch, moved []int
+	if cfg.Migrator != nil {
+		migScratch = make([]int, n)
+		moved = make([]int, 0, n)
+	}
 
-	// pick returns the runnable thread with the smallest clock, or -1.
-	pick := func() int {
-		best := -1
-		for i, st := range states {
-			if st.done || st.atBarrier {
-				continue
-			}
-			if best == -1 || st.clock < states[best].clock {
-				best = i
-			}
-		}
-		return best
+	// Disarmed-detector fast path: every NullDetector hook is a no-op, so
+	// the hot loop skips the dynamic dispatch entirely (three interface
+	// calls per access add up over hundreds of millions of events).
+	_, nullDet := det.(comm.NullDetector)
+
+	// The ready queue: runnable threads ordered by (clock, thread id). See
+	// sched.go for the equivalence argument with the linear scan it
+	// replaces.
+	sched := newSchedHeap(states)
+	for i := 0; i < n; i++ {
+		sched.push(i)
 	}
 
 	// refill fetches the next batch for thread i (starting it on first use).
 	refill := func(i int) {
-		st := states[i]
+		st := &states[i]
 		if !st.started {
 			st.started = true
 			st.batch = team.Start(i)
@@ -283,23 +302,30 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 
 	aliveCount := n
 	for aliveCount > 0 {
-		i := pick()
+		var i int
+		if cfg.useLinearPick {
+			i = linearPick(states)
+		} else {
+			i = sched.peek()
+		}
 		if i == -1 {
 			// Everyone alive is parked at a barrier: release it.
 			var maxClock uint64
-			for _, st := range states {
-				if !st.done && st.clock > maxClock {
+			for j := range states {
+				if st := &states[j]; !st.done && st.clock > maxClock {
 					maxClock = st.clock
 				}
 			}
 			released := false
-			for j, st := range states {
+			for j := range states {
+				st := &states[j]
 				if st.done || !st.atBarrier {
 					continue
 				}
 				st.clock = maxClock
 				st.atBarrier = false
 				refill(j)
+				sched.push(j)
 				released = true
 			}
 			if !released {
@@ -307,7 +333,7 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 			}
 			continue
 		}
-		st := states[i]
+		st := &states[i]
 		if !st.started {
 			refill(i)
 		}
@@ -335,16 +361,19 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 			if cfg.Perturber != nil && st.idx > 0 {
 				if stall := cfg.Perturber.OnQuantum(st.clock, i, st.idx); stall > 0 {
 					st.clock += stall
+					sched.fix(i)
 				}
 			}
 			switch {
 			case st.batch.Done:
 				st.done = true
 				aliveCount--
+				sched.remove(i)
 			case st.batch.Barrier:
 				st.atBarrier = true
+				sched.remove(i)
 			default:
-				refill(i)
+				refill(i) // same clock: the heap key is unchanged
 			}
 			continue
 		}
@@ -358,6 +387,7 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 				c = uint64(float64(c) * (1 - amp + 2*amp*rng.Float64()))
 			}
 			st.clock += c
+			sched.fix(i)
 			continue
 		}
 
@@ -371,15 +401,17 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 				lastMigCheck = st.clock
 			} else if st.clock-lastMigCheck >= migInterval {
 				lastMigCheck = st.clock
-				next := cfg.Migrator(st.clock, append([]int(nil), placement...))
+				copy(migScratch, placement)
+				next := cfg.Migrator(st.clock, migScratch)
 				if next != nil {
 					if err := validatePlacement(next, n); err != nil {
 						return nil, fmt.Errorf("sim: migrator returned invalid placement: %w", err)
 					}
-					var moved []int
+					moved = moved[:0]
 					for th := range placement {
 						if placement[th] != next[th] {
 							states[th].clock += MigrationCost
+							sched.fix(th)
 							migrations++
 							moved = append(moved, th)
 						}
@@ -403,16 +435,22 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 
 		// Periodic detection hook (HM). Because the scheduler always
 		// advances the minimum clock, st.clock is the global time
-		// watermark here.
-		if scanCost := det.MaybeScan(st.clock, tlbs); scanCost > 0 {
-			detectionCycles += scanCost
-			for j, other := range states {
-				if !other.done {
-					other.clock += scanCost
-					detCtr[j] += scanCost
+		// watermark here. The scan charges every live thread the same
+		// cost; a uniform increment preserves the relative order of all
+		// (clock, id) keys, so the ready queue only shifts its keys
+		// (addAll) and never restructures.
+		if !nullDet {
+			if scanCost := det.MaybeScan(st.clock, tlbs); scanCost > 0 {
+				detectionCycles += scanCost
+				for j := range states {
+					if other := &states[j]; !other.done {
+						other.clock += scanCost
+						detCtr[j] += scanCost
+					}
 				}
+				sched.addAll(scanCost)
+				system.Counters(placement[i]).Inc(metrics.DetectionSearches)
 			}
-			system.Counters(placement[i]).Inc(metrics.DetectionSearches)
 		}
 
 		core := placement[i]
@@ -436,11 +474,13 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		default: // full miss: walk (HM) or trap (SM)
 			ctr.Inc(metrics.TLBMisses)
 			st.clock += missCost
-			if smCost := det.OnTLBMiss(i, page, tlbs); smCost > 0 {
-				st.clock += smCost
-				detectionCycles += smCost
-				detCtr[i] += smCost
-				ctr.Inc(metrics.DetectionSearches)
+			if !nullDet {
+				if smCost := det.OnTLBMiss(i, page, tlbs); smCost > 0 {
+					st.clock += smCost
+					detectionCycles += smCost
+					detCtr[i] += smCost
+					ctr.Inc(metrics.DetectionSearches)
+				}
 			}
 			tr, err := as.Translate(ev.Addr)
 			if err != nil {
@@ -448,13 +488,15 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 			}
 			frame = tr.Frame
 			h.Insert(tr)
-			if cfg.PageNode != nil && !placed[tr.Frame] {
+			if placed != nil && !placed.test(uint64(tr.Frame)) {
 				system.PlaceFrame(uint64(tr.Frame), cfg.PageNode(tr.Page))
-				placed[tr.Frame] = true
+				placed.set(uint64(tr.Frame))
 			}
 		}
 
-		det.OnAccess(i, ev.Addr)
+		if !nullDet {
+			det.OnAccess(i, ev.Addr)
+		}
 
 		phys := uint64(frame)<<vm.PageShift | ev.Addr.Offset()
 		line := mem.Line(phys >> mem.LineShift)
@@ -468,6 +510,7 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 				return nil, fmt.Errorf("sim: check after access %d (thread %d): %w", accesses, i, err)
 			}
 		}
+		sched.fix(i)
 	}
 
 	// Assemble the result.
@@ -490,8 +533,11 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		bank := system.Counters(core)
 		bank.Add(metrics.DetectionCycles, detCtr[i])
 		res.PerCore[core] = bank.Snapshot()
-		tlbLookups += hier[i].L1().Hits() + hier[i].L1().Misses()
-		tlbMisses += hier[i].L1().Misses()
+		// hier is indexed by CORE; i is a thread index. (The totals were
+		// right even with hier[i] because placement is a permutation, but
+		// each iteration must read the TLB of thread i's own core.)
+		tlbLookups += hier[core].L1().Hits() + hier[core].L1().Misses()
+		tlbMisses += hier[core].L1().Misses()
 	}
 	res.Counters = system.TotalCounters()
 	if tlbLookups > 0 {

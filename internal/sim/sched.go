@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// schedHeap is the scheduler's ready queue: an indexed binary min-heap over
+// runnable thread ids, keyed on (clock, thread id). The engine always
+// advances the thread whose core clock is furthest behind; with the
+// lexicographic tie-break on the thread id the heap reproduces, event for
+// event, the order the original linear scan produced (smallest clock wins,
+// equal clocks go to the lowest thread index), so golden files and
+// differential corpora stay byte-identical while selection drops from
+// Θ(threads) to Θ(log threads) per event.
+//
+// The key is packed into one uint64 — clock<<idBits | id — so a heap
+// comparison is a single integer compare on a contiguous array instead of
+// two loads through the states slice. Packing steals idBits low bits from
+// the clock, which caps runs at 2^(64-idBits) cycles; even a 1024-core
+// machine leaves 2^54 cycles of headroom (orders of magnitude beyond any
+// simulated run), and key() fails loudly rather than wrap silently.
+//
+// Done and barrier-parked threads are removed from the heap; an empty heap
+// with live threads therefore means "everyone is parked at a barrier",
+// exactly the condition the linear scan signalled with -1.
+//
+// Clock updates reach the heap in two ways:
+//
+//   - fix(id) rebuilds the thread's key and restores the invariant after
+//     one thread's clock changed (every simulated event, migration
+//     penalties, preemption stalls);
+//   - addAll(delta) mirrors a uniform clock increment applied to every
+//     live thread (the HM scan charge): adding the same delta to every
+//     packed key preserves the heap order outright, so the heap shape
+//     never changes.
+type schedHeap struct {
+	states []threadState
+	keys   []uint64 // keys[k] = clock<<idBits | id, heap-ordered
+	pos    []int32  // pos[id] = heap position of thread id, or -1
+	idBits uint
+	idMask uint64
+}
+
+// newSchedHeap builds an empty ready queue over the engine's thread states.
+// The states slice must not be reallocated afterwards; keys are rebuilt
+// from it on push and fix.
+func newSchedHeap(states []threadState) *schedHeap {
+	idBits := uint(bits.Len(uint(len(states))))
+	if idBits == 0 {
+		idBits = 1
+	}
+	h := &schedHeap{
+		states: states,
+		keys:   make([]uint64, 0, len(states)),
+		pos:    make([]int32, len(states)),
+		idBits: idBits,
+		idMask: 1<<idBits - 1,
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// key packs thread id's current (clock, id) into its heap key.
+func (h *schedHeap) key(id int) uint64 {
+	clock := h.states[id].clock
+	if clock >= 1<<(64-h.idBits) {
+		panic(fmt.Sprintf("sim: clock %d overflows the packed scheduler key (%d id bits)", clock, h.idBits))
+	}
+	return clock<<h.idBits | uint64(id)
+}
+
+// peek returns the runnable thread with the smallest (clock, id) key, or -1
+// if no thread is runnable.
+func (h *schedHeap) peek() int {
+	if len(h.keys) == 0 {
+		return -1
+	}
+	return int(h.keys[0] & h.idMask)
+}
+
+// push adds a thread to the ready queue.
+func (h *schedHeap) push(id int) {
+	k := int32(len(h.keys))
+	h.keys = append(h.keys, h.key(id))
+	h.pos[id] = k
+	h.siftUp(k)
+}
+
+// remove takes a thread out of the ready queue (barrier park or
+// completion). Removing an absent thread is a no-op.
+func (h *schedHeap) remove(id int) {
+	k := h.pos[id]
+	if k < 0 {
+		return
+	}
+	last := int32(len(h.keys) - 1)
+	if k < last {
+		h.moveKey(k, h.keys[last])
+	}
+	h.keys = h.keys[:last]
+	h.pos[id] = -1
+	if k < last {
+		h.siftDown(k)
+		h.siftUp(k)
+	}
+}
+
+// fix rebuilds thread id's key and restores the heap invariant after its
+// clock changed. Absent threads (done, or parked at a barrier) are ignored,
+// so callers can fix unconditionally after a clock update. Engine clocks
+// only move forward, so the common case sifts toward the leaves; the
+// upward pass runs only when the key stayed put.
+func (h *schedHeap) fix(id int) {
+	k := h.pos[id]
+	if k < 0 {
+		return
+	}
+	key := h.key(id)
+	if !h.siftDownKey(k, key) {
+		h.siftUpKey(k, key)
+	}
+}
+
+// addAll adds a uniform clock delta to every queued thread's key. The
+// caller must have added the same delta to the threads' clocks; relative
+// order is unchanged, so the heap needs no restructuring.
+func (h *schedHeap) addAll(delta uint64) {
+	packed := delta << h.idBits
+	for k := range h.keys {
+		h.keys[k] += packed
+	}
+}
+
+// moveKey places key at position k, updating the position index.
+func (h *schedHeap) moveKey(k int32, key uint64) {
+	h.keys[k] = key
+	h.pos[key&h.idMask] = k
+}
+
+func (h *schedHeap) siftUp(k int32) { h.siftUpKey(k, h.keys[k]) }
+
+func (h *schedHeap) siftDown(k int32) { h.siftDownKey(k, h.keys[k]) }
+
+// siftUpKey places key at position k or above. It writes the key (and its
+// position) unconditionally, so callers may pass a key that is not yet
+// stored at k.
+func (h *schedHeap) siftUpKey(k int32, key uint64) {
+	for k > 0 {
+		parent := (k - 1) / 2
+		if key >= h.keys[parent] {
+			break
+		}
+		h.moveKey(k, h.keys[parent])
+		k = parent
+	}
+	h.moveKey(k, key)
+}
+
+// siftDownKey places key at position k or below and reports whether it
+// moved. When it reports false, nothing was written — the caller decides
+// whether key still needs storing at k.
+func (h *schedHeap) siftDownKey(k int32, key uint64) bool {
+	n := int32(len(h.keys))
+	start := k
+	for {
+		l := 2*k + 1
+		if l >= n {
+			break
+		}
+		best := l
+		bestKey := h.keys[l]
+		if r := l + 1; r < n && h.keys[r] < bestKey {
+			best, bestKey = r, h.keys[r]
+		}
+		if key <= bestKey {
+			break
+		}
+		h.moveKey(k, bestKey)
+		k = best
+	}
+	if k == start {
+		return false
+	}
+	h.moveKey(k, key)
+	return true
+}
+
+// linearPick is the original Θ(threads) scheduler selection, retained as
+// the reference implementation: the randomized differential test pits it
+// against the heap on seeded traces to guarantee the two produce identical
+// event orders. The engine uses it when Config.useLinearPick is set (test
+// helper only).
+func linearPick(states []threadState) int {
+	best := -1
+	for i := range states {
+		st := &states[i]
+		if st.done || st.atBarrier {
+			continue
+		}
+		if best == -1 || st.clock < states[best].clock {
+			best = i
+		}
+	}
+	return best
+}
+
+// frameBitset tracks which physical frames have had their memory placed on
+// a NUMA node. Frames are allocated densely from zero, so a growable bitset
+// replaces the former map[vm.Frame]bool with one load plus a mask test on
+// the page-walk path.
+type frameBitset struct {
+	words []uint64
+}
+
+func newFrameBitset(frames uint64) *frameBitset {
+	return &frameBitset{words: make([]uint64, (frames+63)/64)}
+}
+
+func (b *frameBitset) test(f uint64) bool {
+	w := f >> 6
+	return w < uint64(len(b.words)) && b.words[w]>>(f&63)&1 != 0
+}
+
+func (b *frameBitset) set(f uint64) {
+	w := f >> 6
+	for uint64(len(b.words)) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (f & 63)
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// schedEvent is one completed data access as the recorder saw it; the full
+// sequence is the run's observable event order.
+type schedEvent struct {
+	thread, core int
+	kind         trace.Kind
+	addr         vm.Addr
+	frame        vm.Frame
+}
+
+// schedRecorder is a Checker that records the exact order the engine
+// retired accesses and migrations in. Two runs with identical recordings
+// interleaved their threads identically.
+type schedRecorder struct {
+	events []schedEvent
+	migs   [][]int
+}
+
+func (r *schedRecorder) Begin(CheckEnv) {}
+
+func (r *schedRecorder) OnAccess(thread, core int, ev trace.Event, frame vm.Frame) error {
+	r.events = append(r.events, schedEvent{thread, core, ev.Kind, ev.Addr, frame})
+	return nil
+}
+
+func (r *schedRecorder) OnMigration(now uint64, placement []int) error {
+	r.migs = append(r.migs, append([]int(nil), placement...))
+	return nil
+}
+
+func (r *schedRecorder) Finish(*Result) error { return nil }
+
+// schedWorkload builds a fresh seeded random team (traces are consumed by a
+// run, so each run rebuilds). All threads share the barrier phase count, so
+// barriers always match up; within a phase each thread draws its own mix of
+// accesses and compute from a thread-derived seed.
+func schedWorkload(seed int64, n int) (*vm.AddressSpace, *trace.Team) {
+	as := vm.NewAddressSpace()
+	shape := rand.New(rand.NewSource(seed))
+	arr := trace.NewF64(as, 2048+shape.Intn(4096))
+	phases := 1 + shape.Intn(4)
+	quantum := 32 + shape.Intn(96) // small quanta: frequent refills
+	team := trace.SPMD(n, func(th *trace.Thread) {
+		rng := rand.New(rand.NewSource(seed ^ int64(th.ID())*0x9e3779b9))
+		for p := 0; p < phases; p++ {
+			steps := 50 + rng.Intn(300)
+			for s := 0; s < steps; s++ {
+				switch rng.Intn(4) {
+				case 0:
+					th.Compute(uint64(1 + rng.Intn(500)))
+				case 1:
+					arr.Set(th, rng.Intn(arr.Len()), 1)
+				default:
+					arr.Get(th, rng.Intn(arr.Len()))
+				}
+			}
+			th.Barrier()
+		}
+	}, quantum)
+	return as, team
+}
+
+// schedConfig derives a run config from the trial number, cycling through
+// detector modes and toggling jitter and migration so the differential
+// covers every scheduler-visible code path: barrier park/release, uniform
+// HM scan charges, per-thread SM miss charges, migration clock bumps and
+// preemption stalls.
+func schedConfig(trial int, seed int64, linear bool) Config {
+	cfg := Config{Machine: topology.Harpertown(), useLinearPick: linear}
+	switch trial % 3 {
+	case 0:
+		// NullDetector fast path.
+	case 1:
+		cfg.Detector = comm.NewSMDetector(8, 1)
+		cfg.TLBMode = tlb.SoftwareManaged
+	case 2:
+		cfg.Detector = comm.NewHMDetector(8, 2000)
+	}
+	if trial%2 == 0 {
+		cfg.JitterSeed = seed | 1
+	}
+	if trial%4 < 2 {
+		// Deterministic random shuffles on a short interval; the RNG is
+		// rebuilt per run so both scheduler variants see the same moves.
+		mig := rand.New(rand.NewSource(seed ^ 0x736368656432))
+		cfg.MigrationInterval = 30_000
+		cfg.Migrator = func(now uint64, placement []int) []int {
+			if mig.Intn(2) == 0 {
+				return nil
+			}
+			next := append([]int(nil), placement...)
+			mig.Shuffle(len(next), func(i, j int) { next[i], next[j] = next[j], next[i] })
+			return next
+		}
+	}
+	return cfg
+}
+
+// TestHeapSchedulerMatchesLinear is the randomized differential test for
+// the tentpole scheduler change: every seeded trace must produce the exact
+// same event order and Result under the indexed min-heap as under the
+// original linear scan, across detectors, jitter, barriers and migrations.
+func TestHeapSchedulerMatchesLinear(t *testing.T) {
+	trials := 24
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + 7919*trial)
+		run := func(linear bool) (*Result, *schedRecorder) {
+			as, team := schedWorkload(seed, 8)
+			cfg := schedConfig(trial, seed, linear)
+			rec := &schedRecorder{}
+			cfg.Checker = rec
+			res, err := Run(cfg, as, team)
+			if err != nil {
+				t.Fatalf("trial %d (linear=%v): %v", trial, linear, err)
+			}
+			return res, rec
+		}
+		heapRes, heapRec := run(false)
+		linRes, linRec := run(true)
+
+		if len(heapRec.events) != len(linRec.events) {
+			t.Fatalf("trial %d: %d events under heap, %d under linear scan",
+				trial, len(heapRec.events), len(linRec.events))
+		}
+		for k := range heapRec.events {
+			if heapRec.events[k] != linRec.events[k] {
+				t.Fatalf("trial %d: event %d diverged: heap %+v, linear %+v",
+					trial, k, heapRec.events[k], linRec.events[k])
+			}
+		}
+		if !reflect.DeepEqual(heapRec.migs, linRec.migs) {
+			t.Fatalf("trial %d: migration sequences diverged:\nheap   %v\nlinear %v",
+				trial, heapRec.migs, linRec.migs)
+		}
+		if !reflect.DeepEqual(heapRes, linRes) {
+			t.Fatalf("trial %d: results diverged:\nheap   %+v\nlinear %+v",
+				trial, heapRes, linRes)
+		}
+	}
+}
+
+// TestSchedHeapOrdering drives the heap directly through a random
+// push/remove/fix sequence and checks peek always agrees with the linear
+// reference selection.
+func TestSchedHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 31
+	states := make([]threadState, n)
+	h := newSchedHeap(states)
+	inHeap := make([]bool, n)
+	for i := range states {
+		states[i].clock = uint64(rng.Intn(8)) // many ties
+		h.push(i)
+		inHeap[i] = true
+	}
+	// Reference pick over the subset currently in the heap, reusing the
+	// engine's done flag to mask absent threads.
+	refPick := func() int {
+		for i := range states {
+			states[i].done = !inHeap[i]
+		}
+		return linearPick(states)
+	}
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(4) {
+		case 0:
+			if inHeap[i] {
+				h.remove(i)
+				inHeap[i] = false
+			}
+		case 1:
+			if !inHeap[i] {
+				h.push(i)
+				inHeap[i] = true
+			}
+		default:
+			// Clock moves forward (as in the engine) or jumps to a tied
+			// value to stress the id tie-break.
+			if rng.Intn(2) == 0 {
+				states[i].clock += uint64(rng.Intn(6))
+			} else {
+				states[i].clock = uint64(rng.Intn(8))
+			}
+			h.fix(i)
+		}
+		if got, want := h.peek(), refPick(); got != want {
+			t.Fatalf("op %d: peek = %d, linear reference = %d", op, got, want)
+		}
+	}
+}
+
+// TestFrameBitset checks the bitset against a map across growth.
+func TestFrameBitset(t *testing.T) {
+	b := newFrameBitset(10)
+	ref := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 5000; op++ {
+		f := uint64(rng.Intn(3000))
+		if got := b.test(f); got != ref[f] {
+			t.Fatalf("op %d: test(%d) = %v, want %v", op, f, got, ref[f])
+		}
+		if rng.Intn(2) == 0 {
+			b.set(f)
+			ref[f] = true
+		}
+	}
+}

@@ -86,9 +86,27 @@ type entry struct {
 //
 // TLB is not safe for concurrent use; the engine serializes accesses.
 type TLB struct {
-	cfg   Config
-	sets  [][]entry // [set][way]
+	cfg Config
+	// flat holds all entries contiguously, ways per set; sets are windows
+	// into it. The hot paths (Lookup, Insert, Contains) index flat
+	// directly — one offset multiply instead of loading a slice header
+	// per access.
+	flat  []entry
+	ways  int
+	sets  [][]entry // [set][way], views over flat (iteration paths)
 	clock uint64
+
+	// nsets caches cfg.Sets(); mask is nsets-1 when nsets is a power of
+	// two (the common geometries), letting SetOf use an AND instead of a
+	// divide on the per-lookup path.
+	nsets uint64
+	mask  uint64
+	pow2  bool
+
+	// setLen[s] is the number of valid entries in set s, maintained by
+	// Insert/Invalidate/Flush. The HM scanner reads it to skip pairwise
+	// comparisons against empty sets without touching the entries.
+	setLen []int16
 
 	hits      uint64
 	misses    uint64
@@ -102,24 +120,45 @@ func New(cfg Config) *TLB {
 		panic(err)
 	}
 	sets := make([][]entry, cfg.Sets())
-	backing := make([]entry, cfg.Entries)
-	for i := range sets {
+	flat := make([]entry, cfg.Entries)
+	for i, backing := 0, flat; i < len(sets); i++ {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &TLB{cfg: cfg, sets: sets}
+	nsets := uint64(cfg.Sets())
+	return &TLB{
+		cfg:    cfg,
+		flat:   flat,
+		ways:   cfg.Ways,
+		sets:   sets,
+		nsets:  nsets,
+		mask:   nsets - 1,
+		pow2:   nsets&(nsets-1) == 0,
+		setLen: make([]int16, nsets),
+	}
 }
 
 // Config returns the TLB geometry.
 func (t *TLB) Config() Config { return t.cfg }
 
 // SetOf returns the set index a page maps to.
-func (t *TLB) SetOf(p vm.Page) int { return int(uint64(p) % uint64(t.cfg.Sets())) }
+func (t *TLB) SetOf(p vm.Page) int {
+	if t.pow2 {
+		return int(uint64(p) & t.mask)
+	}
+	return int(uint64(p) % t.nsets)
+}
+
+// SetLen returns the number of valid entries in one set. It is maintained
+// incrementally, so reading it costs one load — the HM scanner uses it to
+// elide pairwise set comparisons when either side is empty.
+func (t *TLB) SetLen(set int) int { return int(t.setLen[set]) }
 
 // Lookup translates a page. On a hit it refreshes the entry's LRU state and
 // returns the frame. On a miss the caller must refill via Insert.
 func (t *TLB) Lookup(p vm.Page) (vm.Frame, bool) {
 	t.clock++
-	set := t.sets[t.SetOf(p)]
+	off := t.SetOf(p) * t.ways
+	set := t.flat[off : off+t.ways]
 	for i := range set {
 		if set[i].valid && set[i].page == p {
 			set[i].lru = t.clock
@@ -135,7 +174,9 @@ func (t *TLB) Lookup(p vm.Page) (vm.Frame, bool) {
 // full. It returns the evicted page and whether an eviction happened.
 func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 	t.clock++
-	set := t.sets[t.SetOf(tr.Page)]
+	s := t.SetOf(tr.Page)
+	off := s * t.ways
+	set := t.flat[off : off+t.ways]
 	// Reuse an existing slot for the same page or an invalid slot.
 	victim := -1
 	for i := range set {
@@ -149,7 +190,8 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 		}
 	}
 	if victim == -1 {
-		// Evict the least recently used way.
+		// Evict the least recently used way. Occupancy is unchanged: one
+		// valid entry replaces another.
 		victim = 0
 		for i := 1; i < len(set); i++ {
 			if set[i].lru < set[victim].lru {
@@ -158,6 +200,8 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 		}
 		evicted, wasEvicted = set[victim].page, true
 		t.evictions++
+	} else {
+		t.setLen[s]++
 	}
 	set[victim] = entry{valid: true, page: tr.Page, frame: tr.Frame, lru: t.clock}
 	return evicted, wasEvicted
@@ -181,7 +225,8 @@ func (t *TLB) Peek(p vm.Page) (vm.Frame, bool) {
 // inspects only the page's set, costing Ways comparisons (the Θ(P) search
 // of Table I once the associativity is fixed).
 func (t *TLB) Contains(p vm.Page) bool {
-	set := t.sets[t.SetOf(p)]
+	off := t.SetOf(p) * t.ways
+	set := t.flat[off : off+t.ways]
 	for i := range set {
 		if set[i].valid && set[i].page == p {
 			return true
@@ -194,10 +239,12 @@ func (t *TLB) Contains(p vm.Page) bool {
 // page-table modification mentioned in Section IV-B). It reports whether an
 // entry was dropped.
 func (t *TLB) Invalidate(p vm.Page) bool {
-	set := t.sets[t.SetOf(p)]
+	s := t.SetOf(p)
+	set := t.sets[s]
 	for i := range set {
 		if set[i].valid && set[i].page == p {
 			set[i].valid = false
+			t.setLen[s]--
 			return true
 		}
 	}
@@ -206,16 +253,23 @@ func (t *TLB) Invalidate(p vm.Page) bool {
 
 // Flush invalidates every entry (e.g. on a context switch without ASIDs).
 func (t *TLB) Flush() {
-	for _, set := range t.sets {
+	for s, set := range t.sets {
+		if t.setLen[s] == 0 {
+			continue
+		}
 		for i := range set {
 			set[i].valid = false
 		}
+		t.setLen[s] = 0
 	}
 }
 
 // PagesInSet appends the valid pages of one set to dst and returns it.
 // The HM scanner walks sets pairwise with this accessor.
 func (t *TLB) PagesInSet(set int, dst []vm.Page) []vm.Page {
+	if t.setLen[set] == 0 {
+		return dst
+	}
 	for _, e := range t.sets[set] {
 		if e.valid {
 			dst = append(dst, e.page)
@@ -237,12 +291,8 @@ func (t *TLB) ResidentPages() []vm.Page {
 // Len returns the number of valid entries.
 func (t *TLB) Len() int {
 	n := 0
-	for _, set := range t.sets {
-		for _, e := range set {
-			if e.valid {
-				n++
-			}
-		}
+	for _, l := range t.setLen {
+		n += int(l)
 	}
 	return n
 }

@@ -141,8 +141,12 @@ func NewTeam(programs []Program, quantum int) *Team {
 			n:       n,
 			quantum: quantum,
 			buf:     make([]Event, 0, quantum),
-			out:     make(chan Batch),
-			resume:  make(chan struct{}),
+			// Capacity 1 keeps the strict token alternation (the thread
+			// still only runs between receiving the token and sending its
+			// batch) but turns each hand-off into an asynchronous send plus
+			// a wake-up instead of a two-phase rendezvous.
+			out:     make(chan Batch, 1),
+			resume:  make(chan struct{}, 1),
 		}
 		team.Threads[i] = t
 		go func(p Program, t *Thread) {

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Benchmark harness: runs the engine/detector micro-benchmarks and the
+# end-to-end parallel suite, then renders the results as BENCH_engine.json
+# (repo root). Commit the refreshed file alongside any change that claims a
+# performance delta, so regressions show up in review as a diff.
+#
+# Usage:
+#
+#	scripts/bench.sh [count]
+#
+# count is the -count passed to the end-to-end suite (default 3; the
+# committed number is the minimum across repetitions, which is the standard
+# way to suppress scheduler noise on a shared machine).
+set -eu
+
+cd "$(dirname "$0")/.."
+COUNT="${1:-3}"
+OUT="BENCH_engine.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== micro: engine + detectors ==" >&2
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkDetectors' -benchtime 2s \
+	./internal/sim ./internal/comm | tee -a "$RAW" >&2
+
+echo "== end-to-end: parallel suite (count=$COUNT) ==" >&2
+go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x -count "$COUNT" \
+	| tee -a "$RAW" >&2
+
+# Render one JSON object per benchmark line. Repeated names (from -count)
+# keep the minimum ns/op and the maximum events/sec.
+awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = ""; evs = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			if ($(i + 1) == "events/sec") evs = $i
+		}
+		if (ns == "") next
+		if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
+		if (evs != "" && (!(name in best_evs) || evs + 0 > best_evs[name] + 0)) best_evs[name] = evs
+		if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+	}
+	END {
+		printf "{\n  \"host\": \"%s\",\n", host
+		# Pre-overhaul engine (commit f16175d), same container: the "before"
+		# of the hot-path overhaul. Kept verbatim so the end-to-end speedup
+		# stays reviewable next to the current numbers.
+		printf "  \"baseline\": {\n"
+		printf "    \"engine\": \"pre-overhaul (linear pick, map-backed hot state), commit f16175d\",\n"
+		printf "    \"benchmarks\": [\n"
+		printf "      {\"name\": \"BenchmarkParallelSuite/workers1\", \"ns_per_op\": 801345119},\n"
+		printf "      {\"name\": \"BenchmarkParallelSuite/workers2\", \"ns_per_op\": 710678623},\n"
+		printf "      {\"name\": \"BenchmarkParallelSuite/workers4\", \"ns_per_op\": 774978408},\n"
+		printf "      {\"name\": \"BenchmarkParallelSuite/workers8\", \"ns_per_op\": 800366018}\n"
+		printf "    ]\n  },\n"
+		printf "  \"benchmarks\": [\n"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, best_ns[name]
+			if (name in best_evs) printf ", \"events_per_sec\": %s", best_evs[name]
+			printf "}%s\n", (i < n ? "," : "")
+		}
+		printf "  ]\n}\n"
+	}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
