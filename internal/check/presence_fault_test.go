@@ -1,0 +1,47 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"tlbmap/internal/fault"
+)
+
+// TestPresenceIndexSurvivesFaults is the fault-mode variant of the
+// presence-index property test: under every injection scenario at full
+// intensity — TLB shootdown storms, migration flushes, dropped scans,
+// lost samples, preemption bursts, matrix decay — the index-vs-TLB
+// agreement invariant (tlbChecker invariant 5, checked on every sweep and
+// at Finish) must still hold for both detection mechanisms. Shootdowns
+// and migration flushes are the interesting ones: they empty TLBs through
+// the same Flush path that maintains the index, so any missed
+// bookkeeping there surfaces as a violation here.
+func TestPresenceIndexSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 12 full differential executions")
+	}
+	for _, mech := range []string{"SM", "HM"} {
+		for _, k := range fault.Kinds() {
+			mech, k := mech, k
+			t.Run(fmt.Sprintf("%s/%s", mech, k), func(t *testing.T) {
+				t.Parallel()
+				plan := fault.Plan{Seed: 7}
+				plan.Intensity[k] = 1
+				rep, err := Differential(DiffConfig{
+					Seed: 0x1dc5 + int64(k),
+					// Migration churn rebuilds the detector view and, with
+					// MigrationFlush armed, flushes TLBs on every move — the
+					// harshest schedule for incremental index maintenance.
+					Pattern:   MigrationChurn,
+					Ops:       250,
+					Mechanism: mech,
+					Faults:    plan,
+				})
+				if err != nil {
+					t.Fatalf("invariants violated under %s faults: %v\nviolations: %v",
+						k, err, rep.Violations)
+				}
+			})
+		}
+	}
+}

@@ -23,7 +23,12 @@ const sweepEvery = 2048
 //     the core each thread currently runs on, including right after a
 //     migration rebuilds the view;
 //  4. the placement consulted per access must agree with the engine's
-//     thread -> core permutation.
+//     thread -> core permutation;
+//  5. when the run carries an inverted page-presence index, its
+//     incrementally maintained state must equal a from-scratch
+//     recomputation over the TLB contents — the structure the indexed
+//     detection paths answer from must never drift from the TLBs it
+//     mirrors, including across flushes, shootdowns and migrations.
 type tlbChecker struct {
 	s *Suite
 
@@ -35,6 +40,7 @@ func (t *tlbChecker) init(env sim.CheckEnv) {
 	t.env = env
 	t.accesses = 0
 	t.checkView()
+	t.checkPresence()
 }
 
 func (t *tlbChecker) onAccess(thread, core int, ev trace.Event, frame vm.Frame) {
@@ -102,4 +108,17 @@ func (t *tlbChecker) sweep() {
 		}
 	}
 	t.checkView()
+	t.checkPresence()
+}
+
+// checkPresence proves the presence index agrees with the TLBs it
+// mirrors (invariant 5). Validate recomputes the index from scratch, so
+// this runs on the amortized sweep cadence, not per access.
+func (t *tlbChecker) checkPresence() {
+	if t.env.Presence == nil {
+		return
+	}
+	if err := t.env.Presence.Validate(); err != nil {
+		t.s.reportf("tlb", "presence index diverged from TLB contents: %v", err)
+	}
 }

@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"math/bits"
+
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/vm"
 )
@@ -83,6 +85,12 @@ type SMDetector struct {
 	searches    uint64
 	sampled     uint64 // misses for which a search ran
 	missTotal   uint64
+
+	// binding answers "which other cores hold this page" from the
+	// presence index in O(mask words) instead of probing every remote
+	// TLB's set; indexed counts the searches that took that path.
+	binding indexBinding
+	indexed uint64
 }
 
 // NewSMDetector builds an SM detector for n threads sampling every
@@ -117,6 +125,26 @@ func (d *SMDetector) OnTLBMiss(thread int, page vm.Page, tlbs TLBView) uint64 {
 	d.counters[thread] = 0
 	d.searches++
 	d.sampled++
+	if d.binding.bind(tlbs) {
+		// Indexed path: one lookup yields the holder mask; iterate its
+		// set bits. The increments are the same cells the probe loop
+		// below would touch (matrix sums commute), the charge identical.
+		d.indexed++
+		if mask := d.binding.ix.Holders(page); mask != nil {
+			threadOf := d.binding.threadOf
+			for w, word := range mask {
+				base := w << 6
+				for word != 0 {
+					slot := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					if th := threadOf[slot]; th >= 0 && int(th) != thread {
+						d.matrix.Inc(thread, int(th))
+					}
+				}
+			}
+		}
+		return SMSearchCycles
+	}
 	for other := range tlbs {
 		if other == thread {
 			continue
@@ -127,6 +155,13 @@ func (d *SMDetector) OnTLBMiss(thread int, page vm.Page, tlbs TLBView) uint64 {
 	}
 	return SMSearchCycles
 }
+
+// UsePresenceIndex implements PresenceIndexUser.
+func (d *SMDetector) UsePresenceIndex(ix *tlb.PresenceIndex) { d.binding.use(ix) }
+
+// IndexedSearches returns how many searches were answered from the
+// presence index rather than by probing remote TLBs.
+func (d *SMDetector) IndexedSearches() uint64 { return d.indexed }
 
 // MaybeScan implements Detector (SM never scans periodically).
 func (d *SMDetector) MaybeScan(uint64, TLBView) uint64 { return 0 }
@@ -158,6 +193,14 @@ type HMDetector struct {
 	lastScan uint64
 	searches uint64
 	started  bool
+
+	// binding turns the Θ(P²·S·W²) pairwise host scan into one walk of
+	// the presence index, Θ(resident pages); holders is the per-scan
+	// scratch of threads holding the current page. indexed counts the
+	// scans that took that path.
+	binding indexBinding
+	holders []int32
+	indexed uint64
 }
 
 // NewHMDetector builds an HM detector for n threads scanning every interval
@@ -180,8 +223,18 @@ func (d *HMDetector) OnAccess(int, vm.Addr) {}
 func (d *HMDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
 
 // MaybeScan implements the Figure 1b flowchart: if fewer than Interval
-// cycles passed since the last scan, return; otherwise record the scan time
-// and compare all pairs of TLBs for matches.
+// cycles passed since the last scan, return; otherwise record the scan
+// time and count the pages shared by each pair of TLBs. With a presence
+// index armed the count comes from one walk of the index; otherwise all
+// pairs of TLBs are compared set by set (pairwiseScan). Both paths
+// produce byte-identical matrices — the randomized differential test in
+// presence_test.go holds them to that.
+//
+// The simulated scan cost is always the full Θ(P²·S) HMScanCycles of
+// Table I — the modelled OS compares every pair of sets regardless of
+// how the host computes the same answer — except when the view is empty:
+// with no TLBs there is nothing to scan, so nothing is charged and no
+// search is counted.
 func (d *HMDetector) MaybeScan(now uint64, tlbs TLBView) uint64 {
 	if d.started && now-d.lastScan < d.interval {
 		return 0
@@ -193,16 +246,26 @@ func (d *HMDetector) MaybeScan(now uint64, tlbs TLBView) uint64 {
 		return 0
 	}
 	d.lastScan = now
-	d.searches++
 	if len(tlbs) == 0 {
-		return HMScanCycles
+		return 0
 	}
-	// The simulated scan cost is always the full Θ(P²·S) HMScanCycles of
-	// Table I — the modelled OS compares every pair of sets. On the host
-	// side, a pair comparison against an empty set can never match, so we
-	// consult the TLBs' incremental occupancy counts and elide those
-	// MatchesInSet calls entirely; the matrix and the charged cycles are
-	// unchanged.
+	d.searches++
+	if d.binding.bind(tlbs) {
+		d.indexed++
+		d.indexedScan()
+	} else {
+		d.pairwiseScan(tlbs)
+	}
+	return HMScanCycles
+}
+
+// pairwiseScan is the literal Figure 1b comparison: all pairs of TLBs,
+// set by set. It is retained as the reference the indexed path is proven
+// against (and as the fallback for standalone views with no index). On
+// the host side, a pair comparison against an empty set can never match,
+// so it consults the TLBs' incremental occupancy counts and elides those
+// MatchesInSet calls entirely; the matrix is unchanged.
+func (d *HMDetector) pairwiseScan(tlbs TLBView) {
 	sets := tlbs[0].Config().Sets()
 	for i := 0; i < len(tlbs); i++ {
 		ti := tlbs[i]
@@ -218,8 +281,53 @@ func (d *HMDetector) MaybeScan(now uint64, tlbs TLBView) uint64 {
 			}
 		}
 	}
-	return HMScanCycles
 }
+
+// indexedScan walks the presence index once: every resident page
+// contributes one unit of communication to each pair of view threads
+// holding it. A page resident in TLBs i and j is exactly one
+// MatchesInSet match of the pairwise scan (both TLBs map it to the same
+// set under a shared geometry), and matrix addition commutes, so the
+// accumulated matrix is byte-identical. Walk batches runs of pages with
+// equal holder masks, so a dense shared working set costs a handful of
+// pair updates rather than one per page.
+func (d *HMDetector) indexedScan() {
+	threadOf := d.binding.threadOf
+	if cap(d.holders) < len(threadOf) {
+		d.holders = make([]int32, len(threadOf))
+	}
+	holders := d.holders[:cap(d.holders)]
+	d.binding.ix.Walk(func(mask []uint64, count int) {
+		cnt := 0
+		for w, word := range mask {
+			base := w << 6
+			for word != 0 {
+				slot := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if th := threadOf[slot]; th >= 0 {
+					holders[cnt] = th
+					cnt++
+				}
+			}
+		}
+		if cnt < 2 {
+			return
+		}
+		c := uint64(count)
+		for a := 0; a < cnt-1; a++ {
+			for b := a + 1; b < cnt; b++ {
+				d.matrix.Add(int(holders[a]), int(holders[b]), c)
+			}
+		}
+	})
+}
+
+// UsePresenceIndex implements PresenceIndexUser.
+func (d *HMDetector) UsePresenceIndex(ix *tlb.PresenceIndex) { d.binding.use(ix) }
+
+// IndexedScans returns how many scans walked the presence index rather
+// than comparing TLB pairs.
+func (d *HMDetector) IndexedScans() uint64 { return d.indexed }
 
 // Matrix implements Detector.
 func (d *HMDetector) Matrix() *Matrix { return d.matrix }

@@ -60,6 +60,36 @@ func BenchmarkDetectors(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 	})
+	// The indexed variants measure the presence-index scan against the
+	// pairwise scans above on identical fills: the same TLB contents,
+	// attached to an index the detector answers from.
+	for _, fc := range []struct {
+		name string
+		fill int
+	}{
+		{"dense", tlb.DefaultConfig.Entries},
+		{"sparse", 2},
+	} {
+		fc := fc
+		b.Run("HM/scan-indexed/"+fc.name, func(b *testing.B) {
+			tlbs := benchTLBs(cores, fc.fill)
+			ix := tlb.NewPresenceIndex(cores)
+			for _, tl := range tlbs {
+				ix.Attach(tl)
+			}
+			d := NewHMDetector(cores, 1)
+			d.UsePresenceIndex(ix)
+			d.MaybeScan(1, tlbs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.MaybeScan(uint64(2*i+4), tlbs)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			if d.IndexedScans() != d.Searches() {
+				b.Fatalf("only %d/%d scans were indexed", d.IndexedScans(), d.Searches())
+			}
+		})
+	}
 	b.Run("oracle/access", func(b *testing.B) {
 		d := NewOracleDetector(cores, PageGranularity)
 		b.ResetTimer()

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"tlbmap/internal/tlb"
 	"tlbmap/internal/vm"
 )
 
@@ -91,3 +92,11 @@ func (d *EpochDetector) Searches() uint64 { return d.inner.Searches() }
 
 // Inner returns the wrapped detector.
 func (d *EpochDetector) Inner() Detector { return d.inner }
+
+// UsePresenceIndex implements PresenceIndexUser, forwarding to the inner
+// detector when it can exploit the index.
+func (d *EpochDetector) UsePresenceIndex(ix *tlb.PresenceIndex) {
+	if u, ok := d.inner.(PresenceIndexUser); ok {
+		u.UsePresenceIndex(ix)
+	}
+}

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"tlbmap/internal/tlb"
 	"tlbmap/internal/vm"
 )
 
@@ -65,3 +66,13 @@ func (m *MultiDetector) Searches() uint64 {
 
 // Children returns the wrapped detectors.
 func (m *MultiDetector) Children() []Detector { return m.children }
+
+// UsePresenceIndex implements PresenceIndexUser, forwarding the index to
+// every child that can exploit it.
+func (m *MultiDetector) UsePresenceIndex(ix *tlb.PresenceIndex) {
+	for _, d := range m.children {
+		if u, ok := d.(PresenceIndexUser); ok {
+			u.UsePresenceIndex(ix)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package comm
+
+import (
+	"tlbmap/internal/tlb"
+)
+
+// PresenceIndexUser is the optional capability the engine probes a
+// detector for: a detector implementing it is handed the run's inverted
+// page-presence index (tlb.PresenceIndex) at construction time and may
+// answer its TLB queries from the index instead of probing the TLBs.
+// Wrapper detectors (MultiDetector, EpochDetector, the fault layer's
+// wrapper) forward the call to their children so the capability survives
+// composition.
+//
+// Using the index is strictly a host-side optimization: an indexed
+// detector must produce byte-identical matrices, search counts and
+// simulated cycle charges to its probe-based code path.
+type PresenceIndexUser interface {
+	UsePresenceIndex(ix *tlb.PresenceIndex)
+}
+
+// indexBinding resolves presence-index slots (core-attached TLBs) to
+// positions in the detector-facing TLB view (threads). The view is
+// rebuilt when threads migrate, so the binding caches the view it was
+// computed for and recomputes the slot -> thread table only when the
+// pointers change — a P-wide pointer compare per detection event, against
+// the P set probes it replaces.
+type indexBinding struct {
+	ix       *tlb.PresenceIndex
+	sig      []*tlb.TLB // view snapshot the table below was computed for
+	threadOf []int32    // slot -> thread position in the view; -1 = absent
+	usable   bool       // every view TLB is attached to ix
+}
+
+// use points the binding at an index and invalidates any cached view.
+func (b *indexBinding) use(ix *tlb.PresenceIndex) {
+	b.ix = ix
+	b.sig = b.sig[:0]
+	b.usable = false
+}
+
+// bind prepares the slot -> thread table for the given view and reports
+// whether the indexed path may be taken: it requires an index and a view
+// made entirely of TLBs attached to it. Any foreign TLB (detectors are
+// also driven directly by tests and benchmarks against standalone views)
+// makes the binding unusable and the caller falls back to probing.
+func (b *indexBinding) bind(tlbs TLBView) bool {
+	if b.ix == nil || len(tlbs) == 0 {
+		return false
+	}
+	if len(b.sig) == len(tlbs) {
+		same := true
+		for i, t := range tlbs {
+			if b.sig[i] != t {
+				same = false
+				break
+			}
+		}
+		if same {
+			return b.usable
+		}
+	}
+	b.sig = append(b.sig[:0], tlbs...)
+	if cap(b.threadOf) < b.ix.Cores() {
+		b.threadOf = make([]int32, b.ix.Cores())
+	}
+	b.threadOf = b.threadOf[:b.ix.Cores()]
+	for i := range b.threadOf {
+		b.threadOf[i] = -1
+	}
+	b.usable = true
+	for t, tl := range tlbs {
+		if tl.PresenceIndex() != b.ix {
+			b.usable = false
+			return false
+		}
+		b.threadOf[tl.PresenceSlot()] = int32(t)
+	}
+	return b.usable
+}

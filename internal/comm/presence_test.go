@@ -1,0 +1,241 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/vm"
+)
+
+// mirroredViews builds two TLB views driven in lockstep: view a is
+// attached to a presence index, view b is standalone. Applying the same
+// operations to both lets a test compare the indexed detection path
+// against the probe/pairwise reference on bit-identical TLB state.
+func mirroredViews(cores int, cfg tlb.Config) (a, b TLBView, ix *tlb.PresenceIndex) {
+	ix = tlb.NewPresenceIndex(cores)
+	a = make(TLBView, cores)
+	b = make(TLBView, cores)
+	for i := 0; i < cores; i++ {
+		a[i] = tlb.New(cfg)
+		ix.Attach(a[i])
+		b[i] = tlb.New(cfg)
+	}
+	return a, b, ix
+}
+
+// mutate applies one random TLB operation to both views. Replacement is
+// deterministic LRU, so mirrored operations keep the views identical.
+func mutate(rng *rand.Rand, a, b TLBView, pages int) {
+	c := rng.Intn(len(a))
+	p := vm.Page(rng.Intn(pages))
+	switch rng.Intn(10) {
+	case 0:
+		a[c].Flush()
+		b[c].Flush()
+	case 1:
+		a[c].Invalidate(p)
+		b[c].Invalidate(p)
+	default:
+		tr := vm.Translation{Page: p, Frame: vm.Frame(p)}
+		a[c].Insert(tr)
+		b[c].Insert(tr)
+	}
+}
+
+func requireEqualMatrices(t *testing.T, got, want *Matrix) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("matrix sizes differ: %d vs %d", got.N(), want.N())
+	}
+	for i := 0; i < got.N(); i++ {
+		for j := 0; j < got.N(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("matrices diverge at (%d,%d): indexed %d, reference %d",
+					i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestHMIndexedScanMatchesPairwise is the randomized differential proof of
+// the tentpole claim: an HM detector answering from the presence index
+// accumulates a matrix byte-identical to the literal Figure 1b pairwise
+// scan, under churn (inserts, invalidations, flushes) and under view
+// permutations that model post-migration view rebuilds. Core counts above
+// 64 cover the multi-word mask path.
+func TestHMIndexedScanMatchesPairwise(t *testing.T) {
+	for _, cores := range []int{2, 8, 70} {
+		cores := cores
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x5eed + int64(cores)))
+			a, b, ix := mirroredViews(cores, tlb.Config{Entries: 32, Ways: 4})
+			di := NewHMDetector(cores, 1)
+			di.UsePresenceIndex(ix)
+			dp := NewHMDetector(cores, 1)
+			di.MaybeScan(0, a) // arming call: the first MaybeScan never scans
+			dp.MaybeScan(0, b)
+			now := uint64(2)
+			for round := 0; round < 50; round++ {
+				for k := 0; k < 40; k++ {
+					mutate(rng, a, b, 96)
+				}
+				ci := di.MaybeScan(now, a)
+				cp := dp.MaybeScan(now, b)
+				if ci != HMScanCycles || cp != HMScanCycles {
+					t.Fatalf("round %d: scan charges %d / %d, want %d", round, ci, cp, HMScanCycles)
+				}
+				now += 2
+				if round%7 == 3 {
+					// A migration rebuilds the detector-facing view; model it
+					// by permuting both views identically.
+					i, j := rng.Intn(cores), rng.Intn(cores)
+					a[i], a[j] = a[j], a[i]
+					b[i], b[j] = b[j], b[i]
+				}
+			}
+			requireEqualMatrices(t, di.Matrix(), dp.Matrix())
+			if di.Searches() != dp.Searches() {
+				t.Fatalf("search counts diverge: %d vs %d", di.Searches(), dp.Searches())
+			}
+			if di.IndexedScans() == 0 || di.IndexedScans() != di.Searches() {
+				t.Fatalf("indexed detector took the index path %d/%d times, want all",
+					di.IndexedScans(), di.Searches())
+			}
+			if dp.IndexedScans() != 0 {
+				t.Fatalf("reference detector took the index path %d times", dp.IndexedScans())
+			}
+		})
+	}
+}
+
+// TestSMIndexedSearchMatchesProbe is the SM half of the differential: the
+// index-answered "which cores hold this page" search must increment the
+// same matrix cells as probing every remote TLB's set.
+func TestSMIndexedSearchMatchesProbe(t *testing.T) {
+	for _, cores := range []int{2, 8, 70} {
+		cores := cores
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xace + int64(cores)))
+			a, b, ix := mirroredViews(cores, tlb.Config{Entries: 32, Ways: 4})
+			di := NewSMDetector(cores, 1)
+			di.UsePresenceIndex(ix)
+			dp := NewSMDetector(cores, 1)
+			for op := 0; op < 3000; op++ {
+				mutate(rng, a, b, 96)
+				th := rng.Intn(cores)
+				p := vm.Page(rng.Intn(96))
+				ci := di.OnTLBMiss(th, p, a)
+				cp := dp.OnTLBMiss(th, p, b)
+				if ci != cp {
+					t.Fatalf("op %d: search charges %d vs %d", op, ci, cp)
+				}
+			}
+			requireEqualMatrices(t, di.Matrix(), dp.Matrix())
+			if di.IndexedSearches() == 0 || di.IndexedSearches() != di.Searches() {
+				t.Fatalf("indexed detector answered %d/%d searches from the index, want all",
+					di.IndexedSearches(), di.Searches())
+			}
+			if dp.IndexedSearches() != 0 {
+				t.Fatalf("reference detector answered %d searches from the index", dp.IndexedSearches())
+			}
+		})
+	}
+}
+
+// TestHMScanEmptyViewChargesNothing pins the zero-TLB fix: a due scan over
+// an empty view has nothing to read, so it must charge nothing and count
+// no search — previously it charged the full HMScanCycles and counted one.
+func TestHMScanEmptyViewChargesNothing(t *testing.T) {
+	d := NewHMDetector(4, 1)
+	d.MaybeScan(0, nil) // arming call
+	if c := d.MaybeScan(10, TLBView{}); c != 0 {
+		t.Fatalf("scan over an empty view charged %d cycles, want 0", c)
+	}
+	if c := d.MaybeScan(20, nil); c != 0 {
+		t.Fatalf("scan over a nil view charged %d cycles, want 0", c)
+	}
+	if d.Searches() != 0 {
+		t.Fatalf("empty-view scans counted %d searches, want 0", d.Searches())
+	}
+	// A later scan over a real view still runs normally.
+	tlbs := benchTLBs(4, 4)
+	if c := d.MaybeScan(30, tlbs); c != HMScanCycles {
+		t.Fatalf("scan over a populated view charged %d, want %d", c, HMScanCycles)
+	}
+	if d.Searches() != 1 {
+		t.Fatalf("populated scan counted %d searches, want 1", d.Searches())
+	}
+}
+
+// TestDetectorsFallBackOnForeignView proves the safety interlock: a view
+// containing any TLB not attached to the armed index must be served by the
+// probe/pairwise path (tests and benchmarks drive detectors with
+// standalone views), and the results must still be correct.
+func TestDetectorsFallBackOnForeignView(t *testing.T) {
+	const cores = 4
+	// The view is standalone; the armed index belongs to different TLBs.
+	_, view, _ := mirroredViews(cores, tlb.DefaultConfig)
+	_, _, foreign := mirroredViews(cores, tlb.DefaultConfig)
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 200; k++ {
+		c := rng.Intn(cores)
+		p := vm.Page(rng.Intn(32))
+		view[c].Insert(vm.Translation{Page: p, Frame: vm.Frame(p)})
+	}
+
+	dh := NewHMDetector(cores, 1)
+	dh.UsePresenceIndex(foreign)
+	ref := NewHMDetector(cores, 1)
+	dh.MaybeScan(0, view)
+	ref.MaybeScan(0, view)
+	if c := dh.MaybeScan(2, view); c != HMScanCycles {
+		t.Fatalf("fallback scan charged %d, want %d", c, HMScanCycles)
+	}
+	ref.MaybeScan(2, view)
+	if dh.IndexedScans() != 0 {
+		t.Fatalf("detector used a foreign index for %d scans", dh.IndexedScans())
+	}
+	requireEqualMatrices(t, dh.Matrix(), ref.Matrix())
+
+	ds := NewSMDetector(cores, 1)
+	ds.UsePresenceIndex(foreign)
+	refS := NewSMDetector(cores, 1)
+	for th := 0; th < cores; th++ {
+		for p := 0; p < 32; p++ {
+			if ds.OnTLBMiss(th, vm.Page(p), view) != refS.OnTLBMiss(th, vm.Page(p), view) {
+				t.Fatal("fallback search charge diverged")
+			}
+		}
+	}
+	if ds.IndexedSearches() != 0 {
+		t.Fatalf("detector answered %d searches from a foreign index", ds.IndexedSearches())
+	}
+	requireEqualMatrices(t, ds.Matrix(), refS.Matrix())
+}
+
+// TestWrappersForwardPresenceIndex proves the capability survives
+// composition: arming the index through Multi- and Epoch- wrappers must
+// reach the inner detectors.
+func TestWrappersForwardPresenceIndex(t *testing.T) {
+	const cores = 4
+	a, _, ix := mirroredViews(cores, tlb.DefaultConfig)
+	for c := 0; c < cores; c++ {
+		a[c].Insert(vm.Translation{Page: 3, Frame: 3})
+	}
+	hm := NewHMDetector(cores, 1)
+	sm := NewSMDetector(cores, 1)
+	var det Detector = NewEpochDetector(NewMultiDetector(hm, sm), 1000)
+	det.(PresenceIndexUser).UsePresenceIndex(ix)
+	det.MaybeScan(0, a)
+	det.MaybeScan(2, a)
+	det.OnTLBMiss(0, 3, a)
+	if hm.IndexedScans() != 1 {
+		t.Fatalf("HM inner saw %d indexed scans through the wrappers, want 1", hm.IndexedScans())
+	}
+	if sm.IndexedSearches() != 1 {
+		t.Fatalf("SM inner answered %d searches from the index through the wrappers, want 1",
+			sm.IndexedSearches())
+	}
+}

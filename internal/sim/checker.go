@@ -62,4 +62,10 @@ type CheckEnv struct {
 	Placement []int
 	// SoftwareManaged reports the TLB refill mode of the run.
 	SoftwareManaged bool
+	// Presence is the run's inverted page-presence index, or nil when the
+	// detector does not use one. The per-core TLBs maintain it
+	// incrementally; checkers validate it against a from-scratch
+	// recomputation over the TLB contents (index-vs-TLB agreement is a
+	// runtime invariant).
+	Presence *tlb.PresenceIndex
 }

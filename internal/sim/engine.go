@@ -209,6 +209,24 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 	}
 	rebuildView()
 
+	// Inverted page-presence index: detectors that can exploit it get one
+	// index over every core's first-level TLB (the level detection reads).
+	// The TLBs maintain it incrementally through every Insert, Invalidate
+	// and Flush — including the fault layer's shootdowns, which go through
+	// the same TLB methods — so the HM scan and the SM remote-holder probe
+	// run in Θ(resident pages) / Θ(mask words) on the host while the
+	// simulated charges keep the paper's Table I complexities. Runs whose
+	// detector cannot use an index (null, oracle-only) skip it entirely
+	// and pay nothing on the insert path.
+	var presence *tlb.PresenceIndex
+	if iu, ok := det.(comm.PresenceIndexUser); ok {
+		presence = tlb.NewPresenceIndex(n)
+		for c := 0; c < n; c++ {
+			presence.Attach(hier[c].L1())
+		}
+		iu.UsePresenceIndex(presence)
+	}
+
 	missCost := uint64(vm.WalkCost)
 	if cfg.TLBMode == tlb.SoftwareManaged {
 		missCost = vm.TrapCost
@@ -223,6 +241,7 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		View:            tlbs,
 		Placement:       placement,
 		SoftwareManaged: cfg.TLBMode == tlb.SoftwareManaged,
+		Presence:        presence,
 	}
 	if cfg.Checker != nil {
 		if obs, ok := cfg.Checker.(mem.Observer); ok {

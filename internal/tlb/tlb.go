@@ -108,6 +108,12 @@ type TLB struct {
 	// comparisons against empty sets without touching the entries.
 	setLen []int16
 
+	// pidx/pslot bind this TLB to a PresenceIndex (nil when standalone).
+	// Insert, Invalidate and Flush keep the index's bit for this TLB
+	// current; with no index attached each pays one nil comparison.
+	pidx  *PresenceIndex
+	pslot int32
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -200,10 +206,16 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 		}
 		evicted, wasEvicted = set[victim].page, true
 		t.evictions++
+		if t.pidx != nil {
+			t.pidx.remove(t.pslot, evicted)
+		}
 	} else {
 		t.setLen[s]++
 	}
 	set[victim] = entry{valid: true, page: tr.Page, frame: tr.Frame, lru: t.clock}
+	if t.pidx != nil {
+		t.pidx.add(t.pslot, tr.Page)
+	}
 	return evicted, wasEvicted
 }
 
@@ -245,6 +257,9 @@ func (t *TLB) Invalidate(p vm.Page) bool {
 		if set[i].valid && set[i].page == p {
 			set[i].valid = false
 			t.setLen[s]--
+			if t.pidx != nil {
+				t.pidx.remove(t.pslot, p)
+			}
 			return true
 		}
 	}
@@ -258,11 +273,21 @@ func (t *TLB) Flush() {
 			continue
 		}
 		for i := range set {
+			if set[i].valid && t.pidx != nil {
+				t.pidx.remove(t.pslot, set[i].page)
+			}
 			set[i].valid = false
 		}
 		t.setLen[s] = 0
 	}
 }
+
+// PresenceIndex returns the index this TLB is attached to, or nil.
+func (t *TLB) PresenceIndex() *PresenceIndex { return t.pidx }
+
+// PresenceSlot returns this TLB's slot in its PresenceIndex; only
+// meaningful when PresenceIndex() is non-nil.
+func (t *TLB) PresenceSlot() int { return int(t.pslot) }
 
 // PagesInSet appends the valid pages of one set to dst and returns it.
 // The HM scanner walks sets pairwise with this accessor.

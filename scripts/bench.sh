@@ -7,15 +7,73 @@
 # Usage:
 #
 #	scripts/bench.sh [count]
+#	scripts/bench.sh check
 #
 # count is the -count passed to the end-to-end suite (default 3; the
 # committed number is the minimum across repetitions, which is the standard
 # way to suppress scheduler noise on a shared machine).
+#
+# "check" re-runs BenchmarkEngine and compares events/sec against the
+# committed BENCH_engine.json: any case dropping below 75% of its committed
+# throughput fails, so an accidental hot-path regression is caught by CI
+# instead of by the next manual bench run.
 set -eu
 
 cd "$(dirname "$0")/.."
-COUNT="${1:-3}"
 OUT="BENCH_engine.json"
+
+if [ "${1:-}" = "check" ]; then
+	[ -f "$OUT" ] || { echo "bench check: no committed $OUT" >&2; exit 1; }
+	RAW="$(mktemp)"
+	trap 'rm -f "$RAW"' EXIT
+	echo "== bench check: BenchmarkEngine vs committed $OUT ==" >&2
+	go test -run '^$' -bench BenchmarkEngine -benchtime 1x -count 3 \
+		./internal/sim | tee "$RAW" >&2
+	# Pass 1 reads the committed live "benchmarks" section (the frozen
+	# baselines nest under "frozen", so this key is unique); pass 2 keeps
+	# each current case's best events/sec across -count repetitions.
+	awk '
+		FNR == NR {
+			if ($0 ~ /"benchmarks": \[/) { live = 1; next }
+			if (live && $0 ~ /^[[:space:]]*\]/) live = 0
+			if (live && match($0, /"name": "BenchmarkEngine\/[^"]*"/)) {
+				name = substr($0, RSTART + 9, RLENGTH - 10)
+				if (match($0, /"events_per_sec": [0-9.e+]+/))
+					base[name] = substr($0, RSTART + 18, RLENGTH - 18) + 0
+			}
+			next
+		}
+		/^BenchmarkEngine/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			for (i = 2; i < NF; i++)
+				if ($(i + 1) == "events/sec" && $i + 0 > cur[name] + 0)
+					cur[name] = $i + 0
+		}
+		END {
+			fail = 0
+			for (name in base) {
+				if (!(name in cur)) {
+					printf "bench check: case %s missing from current run\n", name
+					fail = 1
+					continue
+				}
+				ratio = cur[name] / base[name]
+				printf "%-24s %12.0f ev/s  committed %12.0f  (%.2fx)\n", \
+					name, cur[name], base[name], ratio
+				if (ratio < 0.75) {
+					printf "bench check FAILED: %s regressed to %.0f%% of committed throughput\n", \
+						name, ratio * 100
+					fail = 1
+				}
+			}
+			if (fail) exit 1
+			print "bench check passed"
+		}' "$OUT" "$RAW" >&2
+	exit 0
+fi
+
+COUNT="${1:-3}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -28,7 +86,10 @@ go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x -count "$COUNT" 
 	| tee -a "$RAW" >&2
 
 # Render one JSON object per benchmark line. Repeated names (from -count)
-# keep the minimum ns/op and the maximum events/sec.
+# keep the minimum ns/op and the maximum events/sec. The frozen baselines
+# are the "before" of each optimization PR, kept verbatim so the speedups
+# stay reviewable next to the current numbers (and so "check" mode can rely
+# on the top-level "benchmarks" key being unique).
 awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 	/^Benchmark/ {
 		name = $1
@@ -45,17 +106,26 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 	}
 	END {
 		printf "{\n  \"host\": \"%s\",\n", host
-		# Pre-overhaul engine (commit f16175d), same container: the "before"
-		# of the hot-path overhaul. Kept verbatim so the end-to-end speedup
-		# stays reviewable next to the current numbers.
-		printf "  \"baseline\": {\n"
-		printf "    \"engine\": \"pre-overhaul (linear pick, map-backed hot state), commit f16175d\",\n"
-		printf "    \"benchmarks\": [\n"
-		printf "      {\"name\": \"BenchmarkParallelSuite/workers1\", \"ns_per_op\": 801345119},\n"
-		printf "      {\"name\": \"BenchmarkParallelSuite/workers2\", \"ns_per_op\": 710678623},\n"
-		printf "      {\"name\": \"BenchmarkParallelSuite/workers4\", \"ns_per_op\": 774978408},\n"
-		printf "      {\"name\": \"BenchmarkParallelSuite/workers8\", \"ns_per_op\": 800366018}\n"
-		printf "    ]\n  },\n"
+		printf "  \"baselines\": [\n"
+		printf "    {\n"
+		printf "      \"engine\": \"pre-overhaul (linear pick, map-backed hot state), commit f16175d\",\n"
+		printf "      \"frozen\": [\n"
+		printf "        {\"name\": \"BenchmarkParallelSuite/workers1\", \"ns_per_op\": 801345119},\n"
+		printf "        {\"name\": \"BenchmarkParallelSuite/workers2\", \"ns_per_op\": 710678623},\n"
+		printf "        {\"name\": \"BenchmarkParallelSuite/workers4\", \"ns_per_op\": 774978408},\n"
+		printf "        {\"name\": \"BenchmarkParallelSuite/workers8\", \"ns_per_op\": 800366018}\n"
+		printf "      ]\n    },\n"
+		printf "    {\n"
+		printf "      \"engine\": \"pre-presence-index (pairwise HM scan on the host), commit 089ac8f\",\n"
+		printf "      \"frozen\": [\n"
+		printf "        {\"name\": \"BenchmarkEngine/null\", \"ns_per_op\": 35141989, \"events_per_sec\": 6993351},\n"
+		printf "        {\"name\": \"BenchmarkEngine/SM\", \"ns_per_op\": 37496853, \"events_per_sec\": 6554157},\n"
+		printf "        {\"name\": \"BenchmarkEngine/HM\", \"ns_per_op\": 1051462224, \"events_per_sec\": 233732},\n"
+		printf "        {\"name\": \"BenchmarkEngine/oracle\", \"ns_per_op\": 40159467, \"events_per_sec\": 6119609},\n"
+		printf "        {\"name\": \"BenchmarkDetectors/HM/scan-full\", \"ns_per_op\": 8945, \"events_per_sec\": 111793},\n"
+		printf "        {\"name\": \"BenchmarkDetectors/HM/scan-sparse\", \"ns_per_op\": 776.8, \"events_per_sec\": 1287321}\n"
+		printf "      ]\n    }\n"
+		printf "  ],\n"
 		printf "  \"benchmarks\": [\n"
 		for (i = 1; i <= n; i++) {
 			name = order[i]
