@@ -48,7 +48,15 @@ go test -run '^$' -bench BenchmarkDetectors -benchtime 1x ./internal/comm >/dev/
 go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x >/dev/null
 go test -run TestSteadyStateZeroAllocs ./internal/sim
 
+# Scale smoke: one 256-core cell of the manycore scale study end-to-end
+# through the CLI — hierarchical topology generation, SM detection with
+# 256 threads, the sparse matrix representation and the multilevel mapper
+# all on the real path. timeout turns a scalability regression (a
+# quadratic path sneaking back in) into a failure instead of a hang.
+timeout 300 go run ./cmd/experiments -exp scale -class S -bench CG -cores 256 -mappers multilevel,auto >/dev/null
+
 # Fuzz smoke: run the differential fuzz targets briefly on top of their
 # committed corpora. Full fuzzing is manual (go test -fuzz ...).
 go test ./internal/check -run=NONE -fuzz='FuzzEngineVsOracle$' -fuzztime=10s
 go test ./internal/check -run=NONE -fuzz=FuzzEngineVsOracleFaults -fuzztime=10s
+go test ./internal/mapping -run=NONE -fuzz=FuzzMultilevelVsBlossom -fuzztime=10s

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare|faults]
+//	experiments [-exp all|table1..table5|fig4..fig9|hm-overhead|storage|compare|faults|scale]
 //	            [-suite npb|splash] [-class S|W] [-reps N] [-bench BT,CG,...]
 //	            [-seed N] [-parallel N] [-csv DIR] [-check] [-v]
 //	            [-faults SPEC] [-fault-seed N] [-fault-rates R1,R2,...] [-job-timeout D]
+//	            [-cores N1,N2,...] [-mappers M1,M2,...] [-row-budget K]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // -check arms the internal/check invariant suite (sequential memory
@@ -22,9 +23,16 @@
 // across SM/HM detection on a UMA and a NUMA machine and prints the
 // fault-rate -> mapping-quality/slowdown curve.
 //
+// "-exp scale" runs the manycore scale-up study: SM detection with one
+// thread per core on the canonical manycore topology across the -cores
+// sweep, reporting detection throughput (events/sec), the detected
+// matrix's shape, and per -mappers entry the mapping wall time and the
+// mapped-vs-identity communication-cost ratio. -row-budget caps sparse
+// matrix rows to the K heaviest partners before mapping.
+//
 // Ctrl-C cancels in-flight simulations promptly; -job-timeout (e.g. 90s)
-// additionally bounds each fault-study cell, turning a wedged cell into a
-// reported failure instead of a hung run.
+// additionally bounds each fault-study or scale-study cell, turning a
+// wedged cell into a reported failure instead of a hung run.
 //
 // Independent simulation jobs fan out over -parallel workers (0 = one per
 // CPU). Output is bit-identical at every worker count: each job's seed is
@@ -56,7 +64,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig9, hm-overhead, storage, compare, faults)")
+		exp      = flag.String("exp", "all", "experiment to run (all, table1..table5, fig4..fig9, hm-overhead, storage, compare, faults, scale)")
 		suite    = flag.String("suite", "npb", "workload suite: npb (the paper) or splash (extension)")
 		class    = flag.String("class", "W", "problem class: S (tiny) or W (evaluation scale)")
 		reps     = flag.Int("reps", 10, "repetitions per mapping for tables IV/V (paper: 100)")
@@ -70,7 +78,11 @@ func main() {
 		faults     = flag.String("faults", "", "fault scenarios to arm on every job: scenario[:rate],... or all[:rate]")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault-injection RNG streams")
 		faultRates = flag.String("fault-rates", "0,0.25,0.5,1", "rate sweep of the -exp faults degradation study")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-cell timeout of the -exp faults study (0 = none), e.g. 90s")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-cell timeout of the -exp faults and -exp scale studies (0 = none), e.g. 90s")
+
+		cores     = flag.String("cores", "64,256", "core-count sweep of the -exp scale study (power-of-two multiples of 32)")
+		mappers   = flag.String("mappers", "", "mapper sweep of the -exp scale study: greedy,multilevel,auto,edmonds (default greedy,multilevel,auto)")
+		rowBudget = flag.Int("row-budget", 0, "-exp scale: cap each sparse matrix row to its N heaviest partners before mapping (0 = exact)")
 
 		profiling = prof.Register(flag.CommandLine)
 	)
@@ -125,6 +137,12 @@ func main() {
 		}
 		return
 	}
+	if strings.ToLower(*exp) == "scale" {
+		if err := runScaleStudy(ctx, cfg, *cores, *mappers, *rowBudget, *jobTimeout, *csvDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(cfg, strings.ToLower(*exp), *csvDir); err != nil {
 		log.Fatal(err)
 	}
@@ -162,6 +180,50 @@ func runFaultStudy(ctx context.Context, cfg harness.Config, plan fault.Plan, rat
 	if csvDir != "" {
 		if err := writeCSV(csvDir, "fault_study.csv", func(f *os.File) error {
 			return harness.WriteFaultStudyCSV(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScaleStudy drives the -exp scale manycore sweep.
+func runScaleStudy(ctx context.Context, cfg harness.Config, coreSpec, mapperSpec string, rowBudget int, jobTimeout time.Duration, csvDir string) error {
+	scfg := harness.ScaleStudyConfig{
+		Config:     cfg,
+		RowBudget:  rowBudget,
+		JobTimeout: jobTimeout,
+	}
+	// Progress and gate warnings to stderr: a sweep cell can run for
+	// minutes, and a silently dropped mapper row (the edmonds gate) would
+	// otherwise be indistinguishable from a typo.
+	scfg.Progress = log.Printf
+	for _, s := range strings.Split(coreSpec, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad core count %q", s)
+		}
+		scfg.Cores = append(scfg.Cores, n)
+	}
+	for _, s := range strings.Split(mapperSpec, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			scfg.Mappers = append(scfg.Mappers, s)
+		}
+	}
+	rows, failed, err := harness.RunScaleStudy(ctx, scfg)
+	if err != nil {
+		return err
+	}
+	for _, f := range failed {
+		log.Printf("warning: study cell failed: %v", f)
+	}
+	fmt.Print(harness.RenderScaleStudy(rows))
+	if csvDir != "" {
+		if err := writeCSV(csvDir, "scale_study.csv", func(f *os.File) error {
+			return harness.WriteScaleStudyCSV(f, rows)
 		}); err != nil {
 			return err
 		}

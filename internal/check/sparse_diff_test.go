@@ -1,0 +1,153 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/fault"
+	"tlbmap/internal/topology"
+)
+
+// runWithRepresentation executes one differential run with the matrix
+// representation forced via the sparse threshold: a huge threshold keeps
+// every matrix dense, a threshold of 2 makes every matrix sparse.
+func runWithRepresentation(t *testing.T, cfg DiffConfig, threshold int) *DiffReport {
+	t.Helper()
+	prev := comm.SetSparseThreshold(threshold)
+	defer comm.SetSparseThreshold(prev)
+	rep, err := Differential(cfg)
+	if err != nil {
+		t.Fatalf("threshold %d: %v", threshold, err)
+	}
+	return rep
+}
+
+// requireIdenticalReports asserts two differential runs are bit-identical
+// in everything observable: timing, counters, detector charges, fault
+// statistics, and the communication matrix cell for cell and byte for
+// byte through both serializers.
+func requireIdenticalReports(t *testing.T, dense, sparse *DiffReport) {
+	t.Helper()
+	dm, sm := dense.Result.Matrix, sparse.Result.Matrix
+	if dm == nil || sm == nil {
+		t.Fatalf("missing matrix: dense %v, sparse %v", dm != nil, sm != nil)
+	}
+	if dm.IsSparse() {
+		t.Fatalf("forced-dense run produced a sparse matrix")
+	}
+	if !sm.IsSparse() {
+		t.Fatalf("forced-sparse run produced a dense matrix")
+	}
+	n := dm.N()
+	if sm.N() != n {
+		t.Fatalf("matrix sizes differ: %d vs %d", n, sm.N())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dv, sv := dm.At(i, j), sm.At(i, j); dv != sv {
+				t.Fatalf("matrix cell (%d,%d): %d dense, %d sparse", i, j, dv, sv)
+			}
+		}
+	}
+	dj, err := json.Marshal(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dj, sj) {
+		t.Fatalf("serialized matrices differ")
+	}
+	var dc, sc bytes.Buffer
+	if err := dm.WriteCSV(&dc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dc.Bytes(), sc.Bytes()) {
+		t.Fatalf("CSV matrices differ")
+	}
+
+	// Everything else in the result — cycles, per-core clocks, counter
+	// banks, detection overhead, placement, migrations — must match
+	// exactly; the representation may never leak into engine behavior.
+	dr, sr := *dense.Result, *sparse.Result
+	dr.Matrix, sr.Matrix = nil, nil
+	if !reflect.DeepEqual(dr, sr) {
+		t.Fatalf("results diverged beyond the matrix:\n dense %+v\nsparse %+v", dr, sr)
+	}
+	if dense.FaultStats != sparse.FaultStats {
+		t.Fatalf("fault stats diverged:\n dense %+v\nsparse %+v", dense.FaultStats, sparse.FaultStats)
+	}
+}
+
+// TestSparseDenseEngineDifferential is the satellite's randomized
+// differential: for T <= 128 across SM/HM, UMA/NUMA and every fault
+// scenario, a run with all matrices forced sparse must be byte-identical
+// — matrices, serialization, detector charges, timing — to the same run
+// forced dense.
+func TestSparseDenseEngineDifferential(t *testing.T) {
+	machines := func() []*topology.Machine {
+		return []*topology.Machine{topology.Harpertown(), topology.NUMA(2)}
+	}
+
+	// Mechanism x topology sweep, no faults.
+	seed := int64(0)
+	for _, mech := range []string{"SM", "HM"} {
+		for _, machine := range machines() {
+			seed++
+			cfg := DiffConfig{
+				Seed: seed, Pattern: Mixed, Machine: machine,
+				Ops: 250, Mechanism: mech, STLB: mech == "HM",
+			}
+			t.Run(fmt.Sprintf("%s/%s", mech, machine.Name), func(t *testing.T) {
+				dense := runWithRepresentation(t, cfg, 1<<30)
+				sparse := runWithRepresentation(t, cfg, 2)
+				requireIdenticalReports(t, dense, sparse)
+			})
+		}
+	}
+
+	// All six fault scenarios, alternating mechanism and topology so every
+	// scenario runs under both detectors across the sweep.
+	for i, kind := range fault.Kinds() {
+		mech := []string{"SM", "HM"}[i%2]
+		machine := machines()[(i/2)%2]
+		var plan fault.Plan
+		plan.Seed = 77 + int64(i)
+		plan.Intensity[kind] = 0.6
+		cfg := DiffConfig{
+			Seed: 100 + int64(i), Pattern: Mixed, Machine: machine,
+			Ops: 250, Mechanism: mech, Faults: plan,
+		}
+		t.Run(fmt.Sprintf("fault-%s/%s/%s", kind, mech, machine.Name), func(t *testing.T) {
+			dense := runWithRepresentation(t, cfg, 1<<30)
+			sparse := runWithRepresentation(t, cfg, 2)
+			requireIdenticalReports(t, dense, sparse)
+		})
+	}
+
+	// All scenarios at once on the T = 128 manycore machine — the largest
+	// size the satellite pins, above the default sparse threshold's half.
+	t.Run("manycore-128-all-faults", func(t *testing.T) {
+		var plan fault.Plan
+		plan.Seed = 5
+		for _, k := range fault.Kinds() {
+			plan.Intensity[k] = 0.4
+		}
+		cfg := DiffConfig{
+			Seed: 128, Pattern: Mixed, Machine: topology.Manycore(128),
+			Ops: 60, Mechanism: "SM", Faults: plan,
+		}
+		dense := runWithRepresentation(t, cfg, 1<<30)
+		sparse := runWithRepresentation(t, cfg, 2)
+		requireIdenticalReports(t, dense, sparse)
+	})
+}

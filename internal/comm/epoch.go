@@ -62,14 +62,7 @@ func (d *EpochDetector) cut() {
 	if cur == nil {
 		return
 	}
-	delta := cur.Clone()
-	if d.prev != nil {
-		for i := 0; i < delta.n; i++ {
-			for j := 0; j < delta.n; j++ {
-				delta.cells[i*delta.n+j] -= d.prev.cells[i*delta.n+j]
-			}
-		}
-	}
+	delta := cur.Sub(d.prev)
 	d.prev = cur.Clone()
 	d.epochs = append(d.epochs, delta)
 }

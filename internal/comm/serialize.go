@@ -46,7 +46,7 @@ func (m *Matrix) UnmarshalJSON(data []byte) error {
 				return fmt.Errorf("comm: asymmetric cells (%d,%d)", i, j)
 			}
 			if i != j && v != 0 {
-				fresh.cells[i*in.N+j] = v
+				fresh.Set(i, j, v)
 			}
 			if i == j && v != 0 {
 				return fmt.Errorf("comm: non-zero diagonal at %d", i)
@@ -84,30 +84,32 @@ func ReadCSV(r io.Reader) (*Matrix, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("comm: empty csv")
 	}
-	m := NewMatrix(n)
+	// Parse into a scratch grid first: Matrix.Set mirrors both halves, so
+	// symmetry must be validated against the raw input, not the matrix.
+	vals := make([][]uint64, n)
 	for i, row := range records {
 		if len(row) != n {
 			return nil, fmt.Errorf("comm: row %d has %d fields, want %d", i, len(row), n)
 		}
+		vals[i] = make([]uint64, n)
 		for j, field := range row {
 			v, err := strconv.ParseUint(field, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("comm: cell (%d,%d): %w", i, j, err)
 			}
-			if i == j {
-				if v != 0 {
-					return nil, fmt.Errorf("comm: non-zero diagonal at %d", i)
-				}
-				continue
+			if i == j && v != 0 {
+				return nil, fmt.Errorf("comm: non-zero diagonal at %d", i)
 			}
-			m.cells[i*n+j] = v
+			vals[i][j] = v
 		}
 	}
+	m := NewMatrix(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if m.At(i, j) != m.At(j, i) {
+			if vals[i][j] != vals[j][i] {
 				return nil, fmt.Errorf("comm: asymmetric cells (%d,%d)", i, j)
 			}
+			m.Set(i, j, vals[i][j])
 		}
 	}
 	return m, nil

@@ -1,0 +1,268 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// requireEqual compares two matrices through every public accessor and
+// serializer; any divergence between the dense and sparse representations
+// is a bug in the hybrid.
+func requireEqual(t *testing.T, dense, sparse *Matrix, ctx string) {
+	t.Helper()
+	n := dense.N()
+	if sparse.N() != n {
+		t.Fatalf("%s: size %d vs %d", ctx, n, sparse.N())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dv, sv := dense.At(i, j), sparse.At(i, j); dv != sv {
+				t.Fatalf("%s: cell (%d,%d) = %d dense, %d sparse", ctx, i, j, dv, sv)
+			}
+		}
+	}
+	if d, s := dense.Total(), sparse.Total(); d != s {
+		t.Fatalf("%s: Total %d dense, %d sparse", ctx, d, s)
+	}
+	if d, s := dense.Max(), sparse.Max(); d != s {
+		t.Fatalf("%s: Max %d dense, %d sparse", ctx, d, s)
+	}
+	if d, s := dense.NNZ(), sparse.NNZ(); d != s {
+		t.Fatalf("%s: NNZ %d dense, %d sparse", ctx, d, s)
+	}
+	type cell struct {
+		i, j int
+		w    uint64
+	}
+	var dCells, sCells []cell
+	dense.ForEach(func(i, j int, w uint64) { dCells = append(dCells, cell{i, j, w}) })
+	sparse.ForEach(func(i, j int, w uint64) { sCells = append(sCells, cell{i, j, w}) })
+	if len(dCells) != len(sCells) {
+		t.Fatalf("%s: ForEach visited %d cells dense, %d sparse", ctx, len(dCells), len(sCells))
+	}
+	for k := range dCells {
+		if dCells[k] != sCells[k] {
+			t.Fatalf("%s: ForEach order diverged at visit %d: %v dense, %v sparse",
+				ctx, k, dCells[k], sCells[k])
+		}
+	}
+	if d, s := dense.String(), sparse.String(); d != s {
+		t.Fatalf("%s: String output differs", ctx)
+	}
+	if d, s := dense.Heatmap(), sparse.Heatmap(); d != s {
+		t.Fatalf("%s: Heatmap output differs", ctx)
+	}
+	dj, err := json.Marshal(dense)
+	if err != nil {
+		t.Fatalf("%s: marshal dense: %v", ctx, err)
+	}
+	sj, err := json.Marshal(sparse)
+	if err != nil {
+		t.Fatalf("%s: marshal sparse: %v", ctx, err)
+	}
+	if !bytes.Equal(dj, sj) {
+		t.Fatalf("%s: JSON bytes differ:\n dense %s\nsparse %s", ctx, dj, sj)
+	}
+	var dc, sc bytes.Buffer
+	if err := dense.WriteCSV(&dc); err != nil {
+		t.Fatalf("%s: csv dense: %v", ctx, err)
+	}
+	if err := sparse.WriteCSV(&sc); err != nil {
+		t.Fatalf("%s: csv sparse: %v", ctx, err)
+	}
+	if !bytes.Equal(dc.Bytes(), sc.Bytes()) {
+		t.Fatalf("%s: CSV bytes differ", ctx)
+	}
+}
+
+// TestSparseDenseDifferential drives a forced-dense and a forced-sparse
+// matrix through identical randomized operation sequences — Add, Set
+// (including zeroing), Inc, diagonal no-ops, Sub, Clone, Reset — and
+// requires every accessor and both serializers to agree byte for byte,
+// per the hybrid's observational-equivalence contract.
+func TestSparseDenseDifferential(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17, 32, 128} {
+		rng := rand.New(rand.NewSource(int64(n) * 31337))
+		dense, sparse := NewDenseMatrix(n), NewSparseMatrix(n)
+		var dPrev, sPrev *Matrix
+		for step := 0; step < 400; step++ {
+			i, j := rng.Intn(n), rng.Intn(n) // diagonal draws included on purpose
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				w := uint64(rng.Intn(1000))
+				dense.Add(i, j, w)
+				sparse.Add(i, j, w)
+			case 3:
+				dense.Inc(i, j)
+				sparse.Inc(i, j)
+			case 4:
+				w := uint64(rng.Intn(500))
+				dense.Set(i, j, w)
+				sparse.Set(i, j, w)
+			case 5:
+				dense.Set(i, j, 0) // sparse must delete, not store a zero
+				sparse.Set(i, j, 0)
+			case 6:
+				dPrev, sPrev = dense.Clone(), sparse.Clone()
+				requireEqual(t, dPrev, sPrev, "clone")
+			case 7:
+				if dPrev != nil {
+					requireEqual(t, dense.Sub(dPrev), sparse.Sub(sPrev), "sub")
+				}
+			}
+		}
+		requireEqual(t, dense, sparse, "final")
+		// Mixed-representation Sub: dense minus sparse and vice versa must
+		// agree with the homogeneous pairs.
+		if dPrev != nil {
+			requireEqual(t, dense.Sub(sPrev), sparse.Sub(dPrev), "cross-sub")
+		}
+		dense.Reset()
+		sparse.Reset()
+		requireEqual(t, dense, sparse, "reset")
+	}
+}
+
+// TestSparseDenseSerializationRoundTrip: bytes written from one
+// representation must decode through the other and back without change.
+func TestSparseDenseSerializationRoundTrip(t *testing.T) {
+	n := 16
+	rng := rand.New(rand.NewSource(99))
+	src := NewSparseMatrix(n)
+	for k := 0; k < 40; k++ {
+		src.Add(rng.Intn(n), rng.Intn(n), uint64(rng.Intn(10_000)))
+	}
+
+	raw, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IsSparse() {
+		t.Fatalf("16-thread decode should land in the dense representation")
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Fatalf("JSON round trip not stable:\n first %s\nsecond %s", raw, again)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := src.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(strings.NewReader(csvBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvAgain bytes.Buffer
+	if err := fromCSV.WriteCSV(&csvAgain); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.String() != csvAgain.String() {
+		t.Fatalf("CSV round trip not stable")
+	}
+}
+
+// TestNewMatrixRepresentationThreshold: NewMatrix must pick the
+// representation from the live threshold, and SetSparseThreshold must
+// return the previous value for restoration.
+func TestNewMatrixRepresentationThreshold(t *testing.T) {
+	if NewMatrix(DefaultSparseThreshold - 1).IsSparse() {
+		t.Fatalf("%d threads should be dense by default", DefaultSparseThreshold-1)
+	}
+	if !NewMatrix(DefaultSparseThreshold).IsSparse() {
+		t.Fatalf("%d threads should be sparse by default", DefaultSparseThreshold)
+	}
+	prev := SetSparseThreshold(2)
+	defer SetSparseThreshold(prev)
+	if prev != DefaultSparseThreshold {
+		t.Fatalf("SetSparseThreshold returned %d, want %d", prev, DefaultSparseThreshold)
+	}
+	if !NewMatrix(2).IsSparse() {
+		t.Fatalf("threshold 2: a 2-thread matrix should be sparse")
+	}
+	if SparseThreshold() != 2 {
+		t.Fatalf("SparseThreshold() = %d, want 2", SparseThreshold())
+	}
+}
+
+// TestRowBudgetSketch: the top-k sketch must keep each row at or under
+// budget, keep the mirror halves consistent, evict deterministically
+// (lightest first, higher column on ties), and leave dense matrices
+// untouched.
+func TestRowBudgetSketch(t *testing.T) {
+	n := 8
+	m := NewSparseMatrix(n)
+	m.SetRowBudget(2)
+	// Row 0 receives three partners; the lightest (column 3, weight 5)
+	// must be evicted, mirror included.
+	m.Set(0, 1, 50)
+	m.Set(0, 2, 40)
+	m.Set(0, 3, 5)
+	if got := m.At(0, 3); got != 0 {
+		t.Fatalf("budget 2: cell (0,3) = %d, want evicted", got)
+	}
+	if got := m.At(3, 0); got != 0 {
+		t.Fatalf("budget 2: mirror cell (3,0) = %d, want evicted", got)
+	}
+	if m.At(0, 1) != 50 || m.At(0, 2) != 40 {
+		t.Fatalf("budget 2: heavy cells lost: (0,1)=%d (0,2)=%d", m.At(0, 1), m.At(0, 2))
+	}
+	// Tie: weights equal, the higher column goes.
+	m2 := NewSparseMatrix(n)
+	m2.SetRowBudget(2)
+	m2.Set(0, 1, 10)
+	m2.Set(0, 2, 10)
+	m2.Set(0, 3, 10)
+	if m2.At(0, 3) != 0 || m2.At(0, 1) != 10 || m2.At(0, 2) != 10 {
+		t.Fatalf("tie eviction not deterministic: row 0 = %d %d %d",
+			m2.At(0, 1), m2.At(0, 2), m2.At(0, 3))
+	}
+	// Applying a budget to an over-full row trims retroactively.
+	m3 := NewSparseMatrix(n)
+	for j := 1; j < n; j++ {
+		m3.Set(0, j, uint64(j))
+	}
+	m3.SetRowBudget(3)
+	kept := 0
+	for j := 1; j < n; j++ {
+		if m3.At(0, j) != 0 {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("retroactive trim kept %d cells, want 3", kept)
+	}
+	for _, j := range []int{5, 6, 7} {
+		if m3.At(0, j) == 0 {
+			t.Fatalf("retroactive trim evicted heavy cell (0,%d)", j)
+		}
+	}
+	// Dense matrices ignore the budget entirely.
+	d := NewDenseMatrix(n)
+	d.SetRowBudget(1)
+	d.Set(0, 1, 1)
+	d.Set(0, 2, 2)
+	d.Set(0, 3, 3)
+	if d.At(0, 1) != 1 || d.At(0, 2) != 2 || d.At(0, 3) != 3 {
+		t.Fatalf("dense matrix applied a row budget")
+	}
+	// Clone carries the budget forward.
+	c := m.Clone()
+	if c.RowBudget() != 2 {
+		t.Fatalf("clone lost the row budget: %d", c.RowBudget())
+	}
+	c.Set(0, 4, 1) // lightest of the three → evicted immediately
+	if c.At(0, 4) != 0 {
+		t.Fatalf("cloned budget not enforced")
+	}
+}

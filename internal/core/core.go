@@ -217,13 +217,14 @@ func DetectAll(w Workload, opt Options) (sm, hm, oracle *Detection, err error) {
 	return sm, hm, oracle, nil
 }
 
-// BuildMapping turns a communication matrix into a placement with the
-// paper's hierarchical Edmonds mapper.
+// BuildMapping turns a communication matrix into a placement: the paper's
+// hierarchical Edmonds mapper up to mapping.DefaultAutoThreshold threads,
+// the near-linear multilevel mapper beyond it.
 func BuildMapping(m *comm.Matrix, machine *topology.Machine) ([]int, error) {
 	if machine == nil {
 		machine = topology.Harpertown()
 	}
-	return mapping.NewEdmonds().Map(m, machine)
+	return mapping.NewAuto().Map(m, machine)
 }
 
 // Evaluate runs the workload under the given placement with detection

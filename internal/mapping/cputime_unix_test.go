@@ -1,0 +1,21 @@
+//go:build unix
+
+package mapping
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+// processCPU returns the CPU time (user + system) consumed by this test
+// process so far. Timing assertions measure deltas of this instead of
+// wall clock, which a loaded or single-core host can inflate arbitrarily.
+func processCPU(t *testing.T) time.Duration {
+	t.Helper()
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatalf("getrusage: %v", err)
+	}
+	return time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())
+}

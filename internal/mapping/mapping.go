@@ -35,11 +35,9 @@ type Algorithm interface {
 // keeping heavy pairs on nearby cores.
 func Cost(m *comm.Matrix, machine *topology.Machine, placement []int) uint64 {
 	var total uint64
-	for i := 0; i < m.N(); i++ {
-		for j := i + 1; j < m.N(); j++ {
-			total += m.At(i, j) * machine.Latency(placement[i], placement[j])
-		}
-	}
+	m.ForEach(func(i, j int, w uint64) {
+		total += w * machine.Latency(placement[i], placement[j])
+	})
 	return total
 }
 

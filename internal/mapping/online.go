@@ -86,8 +86,10 @@ type OnlineMapper struct {
 	prevEpoch  *comm.Matrix
 }
 
-// NewOnlineMapper builds a controller for the machine using the paper's
-// Edmonds mapper and a phase-change threshold (0 selects the default).
+// NewOnlineMapper builds a controller for the machine using the
+// size-dispatching Auto mapper (the paper's Edmonds hierarchy on small
+// machines, multilevel on manycore ones) and a phase-change threshold
+// (0 selects the default).
 func NewOnlineMapper(machine *topology.Machine, threshold float64) *OnlineMapper {
 	n := machine.NumCores()
 	identity := make([]int, n)
@@ -98,7 +100,7 @@ func NewOnlineMapper(machine *topology.Machine, threshold float64) *OnlineMapper
 		MinGain:       DefaultMinGain,
 		MinConfidence: DefaultMinConfidence,
 		machine:       machine,
-		mapper:        NewEdmonds(),
+		mapper:        NewAuto(),
 		tracker:       NewPhaseTracker(threshold),
 		placement:     identity,
 		confidence:    1,

@@ -34,6 +34,10 @@ func propertyMachines() []*topology.Machine {
 			NUMANodes: 2, Chips: 2, L2PerChip: 2, CoresPerL2: 2,
 			L2Latency: 8, ChipLatency: 40, BusLatency: 90, NUMALatency: 240,
 		}),
+		// The manycore generators: a five-deep 64-core NUMA hierarchy and
+		// a wide UMA multi-socket part.
+		topology.Manycore(64),
+		topology.MultiSocket(4, 2, 2),
 	}
 }
 
@@ -81,6 +85,8 @@ func TestMappersProducePermutations(t *testing.T) {
 		algos := []Algorithm{
 			NewEdmonds(),
 			NewGreedyMatch(),
+			NewMultilevel(),
+			NewAuto(),
 			Identity{},
 			NewOSScheduler(42),
 			RecursiveBipartition{},
@@ -111,8 +117,8 @@ func TestMappersProducePermutations(t *testing.T) {
 func TestMappersRejectSizeMismatch(t *testing.T) {
 	machine := topology.Harpertown()
 	for _, algo := range []Algorithm{
-		NewEdmonds(), NewGreedyMatch(), Identity{}, NewOSScheduler(1),
-		RecursiveBipartition{}, Exhaustive{},
+		NewEdmonds(), NewGreedyMatch(), NewMultilevel(), NewAuto(),
+		Identity{}, NewOSScheduler(1), RecursiveBipartition{}, Exhaustive{},
 	} {
 		if _, err := algo.Map(comm.NewMatrix(machine.NumCores()-1), machine); err == nil {
 			t.Errorf("%s accepted a %d-thread matrix on an %d-core machine",
@@ -132,7 +138,7 @@ func TestHierarchicalMappersRejectNonPowerOfTwo(t *testing.T) {
 	})
 	n := machine.NumCores()
 	m := randomMatrix(rand.New(rand.NewSource(6)), n)
-	for _, algo := range []Algorithm{NewEdmonds(), NewGreedyMatch(), RecursiveBipartition{}} {
+	for _, algo := range []Algorithm{NewEdmonds(), NewGreedyMatch(), NewMultilevel(), RecursiveBipartition{}} {
 		if _, err := algo.Map(m, machine); err == nil {
 			t.Errorf("%s accepted a %d-thread matrix", algo.Name(), n)
 		}
@@ -145,6 +151,104 @@ func TestHierarchicalMappersRejectNonPowerOfTwo(t *testing.T) {
 		}
 		checkPermutation(t, placement, n)
 	}
+}
+
+// fuzzMachines returns the two machine shapes (UMA, NUMA) used by
+// FuzzMultilevelVsBlossom for a given power-of-two thread count.
+func fuzzMachines(n int) [2]*topology.Machine {
+	switch n {
+	case 4:
+		return [2]*topology.Machine{
+			topology.Build("f-4u", topology.Spec{
+				Chips: 1, L2PerChip: 2, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+			}),
+			topology.Build("f-4n", topology.Spec{
+				NUMANodes: 2, Chips: 1, L2PerChip: 1, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 90, NUMALatency: 240,
+			}),
+		}
+	case 8:
+		return [2]*topology.Machine{topology.Harpertown(), topology.NUMA(2)}
+	case 16:
+		return [2]*topology.Machine{
+			topology.Build("f-16u", topology.Spec{
+				Chips: 2, L2PerChip: 4, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+			}),
+			topology.Build("f-16n", topology.Spec{
+				NUMANodes: 2, Chips: 2, L2PerChip: 2, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 90, NUMALatency: 240,
+			}),
+		}
+	default: // 32
+		return [2]*topology.Machine{
+			topology.Build("f-32u", topology.Spec{
+				Chips: 4, L2PerChip: 4, CoresPerL2: 2,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+			}),
+			topology.Build("f-32n", topology.Spec{
+				NUMANodes: 2, Chips: 2, L2PerChip: 2, CoresPerL2: 4,
+				L2Latency: 8, ChipLatency: 40, BusLatency: 90, NUMALatency: 240,
+			}),
+		}
+	}
+}
+
+// FuzzMultilevelVsBlossom is the mapper-quality fuzz oracle: arbitrary
+// bytes decode to (thread count ≤ 32, machine shape, weight matrix); the
+// multilevel mapper must always return a valid permutation and its cost
+// must stay within the calibrated bound of the paper's blossom hierarchy
+// (multilevelQualityOK). The first byte picks the size among {4,8,16,32},
+// the second picks UMA or NUMA, the rest fill the upper triangle two
+// bytes per weight (missing bytes read as zero).
+func FuzzMultilevelVsBlossom(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})
+	f.Add([]byte{1, 1, 0xff, 0xff})
+	f.Add([]byte{2, 0})                      // 16 threads, all-zero weights
+	f.Add([]byte{3, 1, 9, 9, 9, 9, 9, 9})    // 32 threads NUMA, partial triangle
+	f.Add([]byte{2, 1, 0, 1, 0, 1, 0, 1})    // light uniform
+	f.Add([]byte{3, 0, 0xff, 0, 0, 0, 0xff}) // heavy scattered pairs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 4 << (int(data[0]) % 4)
+		machine := fuzzMachines(n)[int(data[1])%2]
+		data = data[2:]
+		m := comm.NewDenseMatrix(n)
+		k := 0
+		for i := 0; i < n && k < len(data); i++ {
+			for j := i + 1; j < n && k < len(data); j++ {
+				var v uint64
+				if k < len(data) {
+					v = uint64(data[k])
+				}
+				if k+1 < len(data) {
+					v = v<<8 | uint64(data[k+1])
+				}
+				k += 2
+				m.Set(i, j, v)
+			}
+		}
+
+		pm, err := NewMultilevel().Map(m, machine)
+		if err != nil {
+			t.Fatalf("multilevel: %v", err)
+		}
+		checkPermutation(t, pm, n)
+		pb, err := NewEdmonds().Map(m, machine)
+		if err != nil {
+			t.Fatalf("edmonds: %v", err)
+		}
+		checkPermutation(t, pb, n)
+		mlCost := Cost(m, machine, pm)
+		blCost := Cost(m, machine, pb)
+		if !multilevelQualityOK(m, machine, mlCost, blCost) {
+			t.Fatalf("n=%d %s: multilevel cost %d vs blossom %d exceeds the quality bound (total %d)",
+				n, machine.Name, mlCost, blCost, m.Total())
+		}
+	})
 }
 
 // TestOnlineMapperMaintainsPermutation drives the dynamic controller

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mapping
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package mapping
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows the map-heavy multilevel path
+// ~20x and makes wall/CPU performance bounds meaningless.
+const raceEnabled = true

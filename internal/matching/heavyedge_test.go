@@ -1,0 +1,168 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseToEdges extracts the non-zero upper-triangle edges of a dense
+// weight matrix.
+func denseToEdges(w [][]int64) []Edge {
+	var edges []Edge
+	for i := range w {
+		for j := i + 1; j < len(w); j++ {
+			if w[i][j] != 0 {
+				edges = append(edges, Edge{U: i, V: j, W: w[i][j]})
+			}
+		}
+	}
+	return edges
+}
+
+// TestHeavyEdgePairingMatchesGreedy is the differential oracle against the
+// existing dense path: on any dense graph the sparse heavy-edge pairing
+// must reproduce Greedy mate for mate — same sort keys, same scan, and
+// leftover vertices pair in index order exactly like Greedy's zero-weight
+// edges.
+func TestHeavyEdgePairingMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := (rng.Intn(16) + 1) * 2 // 2..32, even
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				var v int64
+				switch rng.Intn(3) {
+				case 0: // zero: stays out of the sparse edge list
+				case 1:
+					v = int64(rng.Intn(5)) // heavy ties
+				case 2:
+					v = int64(rng.Intn(1_000_000))
+				}
+				w[i][j], w[j][i] = v, v
+			}
+		}
+		gMate, gWeight, err := Greedy(w)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hMate, hWeight := HeavyEdgePairing(n, denseToEdges(w))
+		if hWeight != gWeight {
+			t.Fatalf("trial %d (n=%d): heavy-edge weight %d, greedy %d", trial, n, hWeight, gWeight)
+		}
+		for i := range gMate {
+			if gMate[i] != hMate[i] {
+				t.Fatalf("trial %d (n=%d): mate[%d] = %d (heavy-edge) vs %d (greedy)",
+					trial, n, i, hMate[i], gMate[i])
+			}
+		}
+	}
+}
+
+// TestHeavyEdgePairingIsPerfect: sparse random graphs — including graphs
+// with isolated vertices — must still produce a perfect pairing for even
+// n, and exactly one unpaired vertex for odd n.
+func TestHeavyEdgePairingIsPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 2
+		var edges []Edge
+		for e := 0; e < rng.Intn(2*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, Edge{U: u, V: v, W: int64(rng.Intn(1000))})
+		}
+		mate, _ := HeavyEdgePairing(n, edges)
+		unpaired := 0
+		for i, m := range mate {
+			if m == -1 {
+				unpaired++
+				continue
+			}
+			if m < 0 || m >= n || m == i || mate[m] != i {
+				t.Fatalf("trial %d: invalid pairing: mate[%d]=%d (%v)", trial, i, m, mate)
+			}
+		}
+		if want := n % 2; unpaired != want {
+			t.Fatalf("trial %d (n=%d): %d unpaired vertices, want %d", trial, n, unpaired, want)
+		}
+	}
+}
+
+// TestImprovePairingRepairsFragmentation: the canonical greedy failure —
+// a path 0-1-2-3 with the middle edge heaviest — must be repaired to the
+// optimal pairing by one 2-opt exchange.
+func TestImprovePairingRepairsFragmentation(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {1, 2, 6}, {2, 3, 5}}
+	mate, w := HeavyEdgePairing(4, edges)
+	if w != 6 {
+		t.Fatalf("greedy weight %d, want the fragmented 6", w)
+	}
+	ImprovePairing(4, edges, mate)
+	if mate[0] != 1 || mate[1] != 0 || mate[2] != 3 || mate[3] != 2 {
+		t.Fatalf("2-opt did not recover the optimal pairing: %v", mate)
+	}
+}
+
+// TestImprovePairingNeverWorsens: across random graphs, the improved
+// pairing must stay a valid pairing and its weight must not drop.
+func TestImprovePairingNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	weightOf := func(n int, edges []Edge, mate []int) int64 {
+		w := map[[2]int]int64{}
+		for _, e := range edges {
+			w[[2]int{e.U, e.V}] = e.W
+		}
+		var total int64
+		for i, m := range mate {
+			if m > i {
+				total += w[[2]int{i, m}]
+			}
+		}
+		return total
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := (rng.Intn(20) + 1) * 2
+		var edges []Edge
+		for e := 0; e < rng.Intn(3*n)+1; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, Edge{U: u, V: v, W: int64(rng.Intn(100))})
+		}
+		// Deduplicate: ImprovePairing's weight lookup assumes one weight
+		// per pair, like the contracted graphs it runs on.
+		seen := map[[2]int]bool{}
+		uniq := edges[:0]
+		for _, e := range edges {
+			k := [2]int{e.U, e.V}
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, e)
+			}
+		}
+		edges = uniq
+		mate, before := HeavyEdgePairing(n, edges)
+		ImprovePairing(n, edges, mate)
+		for i, m := range mate {
+			if m < 0 || m >= n || m == i || mate[m] != i {
+				t.Fatalf("trial %d: invalid pairing after 2-opt: mate[%d]=%d", trial, i, m)
+			}
+		}
+		if after := weightOf(n, edges, mate); after < before {
+			t.Fatalf("trial %d: 2-opt dropped weight from %d to %d", trial, before, after)
+		}
+	}
+}

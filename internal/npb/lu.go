@@ -89,8 +89,10 @@ func buildLU(as *vm.AddressSpace, p Params) []trace.Program {
 			// Wavefront-tail exchange: consume the last two planes the
 			// mirror thread produced, folding them into this thread's
 			// boundary plane (the distant-thread communication of the
-			// pipelined schedule).
-			for k := 0; k < 2 && mHi-1-k >= mLo; k++ {
+			// pipelined schedule). With more threads than planes a slab
+			// can be empty (lo == hi == nz); such a thread owns no
+			// boundary plane to fold into, so it sits the exchange out.
+			for k := 0; k < 2 && lo < hi && mHi-1-k >= mLo; k++ {
 				src := mHi - 1 - k
 				for y := 0; y < ny; y++ {
 					for x := 0; x < nx; x++ {

@@ -1,6 +1,7 @@
 package npb_test
 
 import (
+	"fmt"
 	"testing"
 
 	"tlbmap/internal/comm"
@@ -203,6 +204,43 @@ func TestThreadCountVariants(t *testing.T) {
 		}
 		if _, err := sim.Run(sim.Config{Machine: machine}, as, trace.NewTeam(programs, 0)); err != nil {
 			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+// TestAllKernelsRunWithMoreThreadsThanPlanes: at Class S the 3-D grids
+// have only 16 z-planes, so large teams leave many threads with empty
+// slabs (lo == hi). Every kernel must still build and run — LU's
+// wavefront-tail exchange once indexed plane nz for such threads and
+// crashed the whole scale study. Odd counts also cross the 64-bit
+// presence-bitset word boundary.
+func TestAllKernelsRunWithMoreThreadsThanPlanes(t *testing.T) {
+	for _, threads := range []int{65, 130} {
+		machine := topology.Build("flat", topology.Spec{
+			Chips: threads, L2PerChip: 1, CoresPerL2: 1,
+			L2Latency: 8, ChipLatency: 40, BusLatency: 120,
+		})
+		for _, name := range npb.Names() {
+			name, threads, machine := name, threads, machine
+			t.Run(fmt.Sprintf("%s/threads%d", name, threads), func(t *testing.T) {
+				t.Parallel()
+				b, err := npb.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				as := vm.NewAddressSpace()
+				programs := b.Build(as, npb.Params{Threads: threads, Class: npb.ClassS, Seed: 5})
+				if len(programs) != threads {
+					t.Fatalf("built %d programs, want %d", len(programs), threads)
+				}
+				res, err := sim.Run(sim.Config{Machine: machine}, as, trace.NewTeam(programs, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Accesses == 0 {
+					t.Error("no memory accesses simulated")
+				}
+			})
 		}
 	}
 }

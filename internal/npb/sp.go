@@ -77,7 +77,10 @@ func buildSP(as *vm.AddressSpace, p Params) []trace.Program {
 			// sweep and is the dominant coherence traffic of SP.
 			for pass := 0; pass < 2; pass++ {
 				for _, zh := range []int{lo - 2, lo - 1, hi, hi + 1} {
-					if zh < 0 || zh >= nz {
+					// An empty slab (more threads than planes) has no
+					// edge plane to fold halos into; keep the barriers,
+					// skip the exchange.
+					if lo >= hi || zh < 0 || zh >= nz {
 						continue
 					}
 					own := lo

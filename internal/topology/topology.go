@@ -25,6 +25,7 @@ const (
 	LevelChip
 	LevelMachine
 	LevelNUMANode // used only by NUMA topologies
+	LevelDie      // a die inside a multi-chip package (L3 sharing domain)
 )
 
 func (l Level) String() string {
@@ -39,6 +40,8 @@ func (l Level) String() string {
 		return "machine"
 	case LevelNUMANode:
 		return "numa-node"
+	case LevelDie:
+		return "die"
 	default:
 		return fmt.Sprintf("level(%d)", int(l))
 	}
@@ -65,11 +68,29 @@ func (n *Node) Cores() []int {
 }
 
 // Machine is a fully built topology tree with fast distance queries.
+//
+// Internally a machine is a regular tree of arbitrary depth: kinds lists
+// the level kind at each depth (kinds[0] is always LevelCore, the last
+// entry the root), domain[d][core] is the ID of core's ancestor domain at
+// depth d, and levelLat[d] is the communication cost between two cores
+// whose nearest common domain sits at depth d. The classic accessors
+// (L2Domain, Chip, NUMANode) are views onto specific depths, so every
+// machine — the paper's Harpertown as much as a 1024-core multi-socket
+// hierarchy — answers distance queries through the same code path.
 type Machine struct {
 	Name string
 	root *Node
 	// coreNode[i] is the leaf for core i.
 	coreNode []*Node
+	// kinds[d] is the level kind at depth d, innermost first.
+	kinds []Level
+	// domain[d][core] is the depth-d ancestor ID of core, for
+	// 0 < d < len(kinds)-1. domain[0] is nil (a core is its own ancestor)
+	// and the root depth is omitted (every core shares it).
+	domain [][]int32
+	// levelLat[d] is the round-trip cost, in cycles, between two cores
+	// whose nearest common domain is at depth d. levelLat[0] == 0.
+	levelLat []uint64
 	// l2Domain[i] is the ID of the L2 sharing domain of core i (or -1).
 	l2Domain []int
 	// chip[i] is the chip ID of core i (or -1).
@@ -108,28 +129,74 @@ func (m *Machine) SameChip(a, b int) bool {
 	return m.chip[a] >= 0 && m.chip[a] == m.chip[b]
 }
 
+// commonDepth returns the depth of the nearest common sharing domain of
+// two cores: 0 if a == b, 1 if their depth-1 domains coincide, and so on
+// up to the root depth. O(tree depth).
+func (m *Machine) commonDepth(a, b int) int {
+	if a == b {
+		return 0
+	}
+	root := len(m.kinds) - 1
+	for d := 1; d < root; d++ {
+		if m.domain[d][a] == m.domain[d][b] {
+			return d
+		}
+	}
+	return root
+}
+
 // CommonLevel returns the level of the nearest common sharing domain of two
 // cores: LevelCore if a == b, LevelL2 if they share an L2, and so on.
 func (m *Machine) CommonLevel(a, b int) Level {
-	switch {
-	case a == b:
-		return LevelCore
-	case m.SameL2(a, b):
-		return LevelL2
-	case m.SameChip(a, b):
-		return LevelChip
-	case m.numa[a] >= 0 && m.numa[a] == m.numa[b]:
-		return LevelNUMANode
-	default:
-		return LevelMachine
-	}
+	return m.kinds[m.commonDepth(a, b)]
 }
 
 // Latency returns the modelled round-trip communication cost, in cycles,
 // between two cores. It is the cost charged by the coherence interconnect
 // for a cache-to-cache transfer between them.
 func (m *Machine) Latency(a, b int) uint64 {
-	return m.latency[m.CommonLevel(a, b)]
+	return m.levelLat[m.commonDepth(a, b)]
+}
+
+// Depth returns the number of levels in the hierarchy, cores included:
+// Harpertown has depth 4 (core, L2, chip, machine).
+func (m *Machine) Depth() int { return len(m.kinds) }
+
+// KindAt returns the level kind at a given depth, innermost first.
+func (m *Machine) KindAt(depth int) Level { return m.kinds[depth] }
+
+// DomainAt returns the ID of the depth-d ancestor domain of core: the core
+// itself at depth 0, and domain 0 at the root depth.
+func (m *Machine) DomainAt(depth, core int) int {
+	if depth == 0 {
+		return core
+	}
+	if depth == len(m.kinds)-1 {
+		return 0
+	}
+	return int(m.domain[depth][core])
+}
+
+// DistanceMatrix materializes the pairwise core-to-core latency matrix of
+// the machine. Because latencies derive from a tree, the matrix is an
+// ultrametric whenever the per-level costs grow outward: d(a,c) never
+// exceeds max(d(a,b), d(b,c)).
+func (m *Machine) DistanceMatrix() [][]uint64 {
+	n := m.NumCores()
+	out := make([][]uint64, n)
+	cells := make([]uint64, n*n)
+	for a := 0; a < n; a++ {
+		out[a] = cells[a*n : (a+1)*n]
+		for b := a + 1; b < n; b++ {
+			out[a][b] = m.Latency(a, b)
+		}
+	}
+	for a := 1; a < n; a++ {
+		for b := 0; b < a; b++ {
+			out[a][b] = out[b][a]
+		}
+	}
+	return out
 }
 
 // LevelLatency returns the cost associated with a sharing level.
@@ -222,82 +289,30 @@ type Spec struct {
 }
 
 // Build constructs a Machine from a Spec. It panics on non-positive
-// dimensions, which indicate a programming error in a preset.
+// dimensions, which indicate a programming error in a preset. It is a
+// thin wrapper over BuildHierarchy that preserves the historical level
+// naming and LevelLatency semantics of the four-parameter machines.
 func Build(name string, s Spec) *Machine {
 	if s.Chips <= 0 || s.L2PerChip <= 0 || s.CoresPerL2 <= 0 {
 		panic(fmt.Sprintf("topology: invalid spec %+v", s))
 	}
-	numaNodes := s.NUMANodes
-	uma := numaNodes == 0
+	uma := s.NUMANodes == 0
+	levels := []LevelSpec{
+		{Kind: LevelL2, Fanout: s.CoresPerL2, Latency: s.L2Latency},
+		{Kind: LevelChip, Fanout: s.L2PerChip, Latency: s.ChipLatency},
+	}
 	if uma {
-		numaNodes = 1
+		levels = append(levels, LevelSpec{Kind: LevelMachine, Fanout: s.Chips, Latency: s.BusLatency})
+	} else {
+		levels = append(levels,
+			LevelSpec{Kind: LevelNUMANode, Fanout: s.Chips, Latency: s.BusLatency},
+			LevelSpec{Kind: LevelMachine, Fanout: s.NUMANodes, Latency: s.NUMALatency})
 	}
-	totalCores := numaNodes * s.Chips * s.L2PerChip * s.CoresPerL2
-
-	m := &Machine{
-		Name:     name,
-		coreNode: make([]*Node, 0, totalCores),
-		l2Domain: make([]int, 0, totalCores),
-		chip:     make([]int, 0, totalCores),
-		numa:     make([]int, 0, totalCores),
-		latency: map[Level]uint64{
-			LevelCore:     0,
-			LevelL2:       s.L2Latency,
-			LevelChip:     s.ChipLatency,
-			LevelMachine:  s.BusLatency,
-			LevelNUMANode: s.BusLatency,
-		},
-	}
-	if !uma {
+	m := BuildHierarchy(name, levels)
+	// Historical LevelLatency contract: UMA machines answer the NUMA-node
+	// level with the bus cost, and the generic map already has the rest.
+	if uma {
 		m.latency[LevelNUMANode] = s.BusLatency
-		m.latency[LevelMachine] = s.NUMALatency
 	}
-
-	root := &Node{Level: LevelMachine, ID: 0}
-	coreID, l2ID, chipID := 0, 0, 0
-	for ni := 0; ni < numaNodes; ni++ {
-		parent := root
-		if !uma {
-			nn := &Node{Level: LevelNUMANode, ID: ni, parent: root}
-			root.Children = append(root.Children, nn)
-			parent = nn
-		}
-		for ci := 0; ci < s.Chips; ci++ {
-			chip := &Node{Level: LevelChip, ID: chipID, parent: parent}
-			parent.Children = append(parent.Children, chip)
-			for li := 0; li < s.L2PerChip; li++ {
-				l2 := &Node{Level: LevelL2, ID: l2ID, parent: chip}
-				chip.Children = append(chip.Children, l2)
-				for k := 0; k < s.CoresPerL2; k++ {
-					core := &Node{Level: LevelCore, ID: coreID, parent: l2, cores: []int{coreID}}
-					l2.Children = append(l2.Children, core)
-					m.coreNode = append(m.coreNode, core)
-					m.l2Domain = append(m.l2Domain, l2ID)
-					m.chip = append(m.chip, chipID)
-					if uma {
-						m.numa = append(m.numa, -1)
-					} else {
-						m.numa = append(m.numa, ni)
-					}
-					coreID++
-				}
-				l2ID++
-			}
-			chipID++
-		}
-	}
-	// Fill the cores lists of inner nodes bottom-up.
-	var fill func(n *Node) []int
-	fill = func(n *Node) []int {
-		if n.Level == LevelCore {
-			return n.cores
-		}
-		for _, c := range n.Children {
-			n.cores = append(n.cores, fill(c)...)
-		}
-		return n.cores
-	}
-	fill(root)
-	m.root = root
 	return m
 }

@@ -13,8 +13,9 @@
 # committed number is the minimum across repetitions, which is the standard
 # way to suppress scheduler noise on a shared machine).
 #
-# "check" re-runs BenchmarkEngine and compares events/sec against the
-# committed BENCH_engine.json: any case dropping below 75% of its committed
+# "check" re-runs BenchmarkEngine, BenchmarkMultilevel and
+# BenchmarkSparseMatrix and compares events/sec against the committed
+# BENCH_engine.json: any case dropping below 75% of its committed
 # throughput fails, so an accidental hot-path regression is caught by CI
 # instead of by the next manual bench run.
 set -eu
@@ -26,9 +27,13 @@ if [ "${1:-}" = "check" ]; then
 	[ -f "$OUT" ] || { echo "bench check: no committed $OUT" >&2; exit 1; }
 	RAW="$(mktemp)"
 	trap 'rm -f "$RAW"' EXIT
-	echo "== bench check: BenchmarkEngine vs committed $OUT ==" >&2
+	echo "== bench check: engine/mapper/matrix vs committed $OUT ==" >&2
 	go test -run '^$' -bench BenchmarkEngine -benchtime 1x -count 3 \
 		./internal/sim | tee "$RAW" >&2
+	go test -run '^$' -bench BenchmarkMultilevel -benchtime 1x -count 3 \
+		./internal/mapping | tee -a "$RAW" >&2
+	go test -run '^$' -bench BenchmarkSparseMatrix -benchtime 0.5s -count 3 \
+		./internal/comm | tee -a "$RAW" >&2
 	# Pass 1 reads the committed live "benchmarks" section (the frozen
 	# baselines nest under "frozen", so this key is unique); pass 2 keeps
 	# each current case's best events/sec across -count repetitions.
@@ -36,14 +41,14 @@ if [ "${1:-}" = "check" ]; then
 		FNR == NR {
 			if ($0 ~ /"benchmarks": \[/) { live = 1; next }
 			if (live && $0 ~ /^[[:space:]]*\]/) live = 0
-			if (live && match($0, /"name": "BenchmarkEngine\/[^"]*"/)) {
+			if (live && match($0, /"name": "Benchmark(Engine|Multilevel|SparseMatrix)\/[^"]*"/)) {
 				name = substr($0, RSTART + 9, RLENGTH - 10)
 				if (match($0, /"events_per_sec": [0-9.e+]+/))
 					base[name] = substr($0, RSTART + 18, RLENGTH - 18) + 0
 			}
 			next
 		}
-		/^BenchmarkEngine/ {
+		/^Benchmark(Engine|Multilevel|SparseMatrix)\// {
 			name = $1
 			sub(/-[0-9]+$/, "", name)
 			for (i = 2; i < NF; i++)
@@ -77,9 +82,13 @@ COUNT="${1:-3}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "== micro: engine + detectors ==" >&2
-go test -run '^$' -bench 'BenchmarkEngine|BenchmarkDetectors' -benchtime 2s \
+echo "== micro: engine + detectors + matrix ==" >&2
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkDetectors|BenchmarkSparseMatrix' -benchtime 2s \
 	./internal/sim ./internal/comm | tee -a "$RAW" >&2
+
+echo "== micro: multilevel mapper ==" >&2
+go test -run '^$' -bench BenchmarkMultilevel -benchtime 2x \
+	./internal/mapping | tee -a "$RAW" >&2
 
 echo "== end-to-end: parallel suite (count=$COUNT) ==" >&2
 go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x -count "$COUNT" \
