@@ -48,6 +48,15 @@ go test -run '^$' -bench BenchmarkDetectors -benchtime 1x ./internal/comm >/dev/
 go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x >/dev/null
 go test -run TestSteadyStateZeroAllocs ./internal/sim
 
+# Serve smoke: the mapping daemon end-to-end over real TCP — a short
+# synthetic-fleet burst through cmd/mapperd's selftest, which exits
+# non-zero on any hangup, ERR response, quarantine, unclean drain, or p99
+# query latency above the deadline. The grep re-asserts the drain banner so
+# a silently-truncated run cannot pass.
+SERVE_SMOKE="$(go run ./cmd/mapperd -selftest -conns 64 -tenants 8 -threads 8 \
+	-events 200 -batch 25 -query-every 4 -seed 1)"
+echo "$SERVE_SMOKE" | grep -q 'drained cleanly'
+
 # Scale smoke: one 256-core cell of the manycore scale study end-to-end
 # through the CLI — hierarchical topology generation, SM detection with
 # 256 threads, the sparse matrix representation and the multilevel mapper

@@ -297,6 +297,32 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Equal reports whether two matrices have the same size and identical
+// cells. Representation (dense vs sparse) and row budget do not
+// participate: a dense matrix equals a sparse one with the same contents.
+// It is the byte-identical comparison of the differential and soak tests —
+// two equal matrices render, serialize and map identically.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if other == nil || other.n != m.n {
+		return false
+	}
+	equal := true
+	m.ForEach(func(i, j int, w uint64) {
+		if other.At(i, j) != w {
+			equal = false
+		}
+	})
+	if !equal {
+		return false
+	}
+	other.ForEach(func(i, j int, w uint64) {
+		if m.At(i, j) != w {
+			equal = false
+		}
+	})
+	return equal
+}
+
 // Sub returns m - base cell-wise (saturating at zero). With a cumulative
 // detector matrix, Sub against the previous snapshot yields the epoch
 // delta. It returns nil when the sizes differ.

@@ -107,6 +107,20 @@ func NewOnlineMapper(machine *topology.Machine, threshold float64) *OnlineMapper
 	}
 }
 
+// SetAlgorithm replaces the mapper consulted on each remap decision. The
+// serving layer uses it to keep the size-dispatching Auto default while
+// letting deadline tests install a deliberately slow algorithm; a nil
+// argument keeps the current mapper.
+func (o *OnlineMapper) SetAlgorithm(a Algorithm) {
+	if a != nil {
+		o.mapper = a
+	}
+}
+
+// Decisions returns how many epochs the controller has evaluated
+// (including idle and held ones).
+func (o *OnlineMapper) Decisions() int { return o.decisions }
+
 // Placement returns the placement currently in force.
 func (o *OnlineMapper) Placement() []int {
 	return append([]int(nil), o.placement...)

@@ -90,6 +90,20 @@ func MapPartial[T any](ctx context.Context, p Pool, n int, fn func(ctx context.C
 	return results, failed
 }
 
+// Attempt runs one function under the pool's single-attempt hardening
+// without a pool: the per-attempt timeout (0 = none) and panic isolation
+// of runAttempt. It is the execution layer of the serving path — every
+// placement query runs inside an Attempt so a deadline turns into
+// context.DeadlineExceeded and a panicking tenant turns into a
+// *PanicError instead of killing the daemon. Like a pool job with a
+// timeout, a non-cooperative fn keeps running detached past the deadline;
+// its late result is discarded.
+func Attempt[T any](ctx context.Context, timeout time.Duration, fn func(ctx context.Context) (T, error)) (T, error) {
+	return runAttempt(ctx, timeout, 0, func(ctx context.Context, _ int) (T, error) {
+		return fn(ctx)
+	})
+}
+
 // mapEngine is the shared claim-loop core of Map/MapCtx/MapPartial.
 // errs[i] holds job i's error: the raw last-attempt error in fail-fast
 // mode, a *JobError in partial mode, or ctx.Err() for jobs never claimed

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tlbmap/internal/vm"
+)
+
+// TestLifecycleNeverLeaks cycles create -> load -> evict -> re-create many
+// times and asserts the server ends where it started: empty shard maps and
+// the goroutine count back to baseline (every applier exited).
+func TestLifecycleNeverLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Shards: 4})
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		id := fmt.Sprintf("cycle-%d", r%5) // re-create the same IDs repeatedly
+		if err := s.CreateTenant(id, 8); err != nil {
+			t.Fatal(err)
+		}
+		events := make([]Event, 50)
+		for i := range events {
+			events[i] = Event{Thread: int32(i % 8), Page: vm.Page(i)}
+		}
+		if err := s.Ingest(id, events); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EvictTenant(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Tenants()); got != 0 {
+		t.Fatalf("after %d create/evict cycles, %d tenants remain: %v", rounds, got, s.Tenants())
+	}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		n := len(sh.tenants)
+		sh.mu.RUnlock()
+		if n != 0 {
+			t.Errorf("shard %d still holds %d tenants", i, n)
+		}
+	}
+	// Goroutine count settles back to baseline (allow scheduler slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEvictMidStream evicts a tenant while concurrent streams are feeding
+// it: every in-flight Ingest resolves to a clean ErrTenantNotFound (never a
+// panic or a hang), and a re-created tenant starts from a blank matrix.
+func TestEvictMidStream(t *testing.T) {
+	s := New(Config{QueueCap: 4})
+	if err := s.CreateTenant("victim", 8); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for st := 0; st < 4; st++ {
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(st + 1)))
+			batch := make([]Event, 20)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range batch {
+					th := rng.Intn(8)
+					batch[i] = Event{Thread: int32(th), Page: vm.Page(th*64 + rng.Intn(96))}
+				}
+				err := s.Ingest("victim", batch)
+				switch {
+				case err == nil, errors.Is(err, ErrOverloaded):
+				case errors.Is(err, ErrTenantNotFound):
+					return // clean eviction signal
+				default:
+					t.Errorf("Ingest during evict: unexpected error %v", err)
+					return
+				}
+			}
+		}(st)
+	}
+	time.Sleep(10 * time.Millisecond) // let the streams get going
+	if err := s.EvictTenant("victim"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := s.Ingest("victim", []Event{{Thread: 0, Page: 1}}); !errors.Is(err, ErrTenantNotFound) {
+		t.Errorf("Ingest after evict: err = %v, want ErrTenantNotFound", err)
+	}
+	if _, err := s.Query(context.Background(), "victim"); !errors.Is(err, ErrTenantNotFound) {
+		t.Errorf("Query after evict: err = %v, want ErrTenantNotFound", err)
+	}
+
+	// Re-creation yields a fresh tenant, not the evicted one's state.
+	if err := s.CreateTenant("victim", 8); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ingested != 0 || snap.Matrix.Total() != 0 {
+		t.Errorf("re-created tenant inherited state: ingested=%d total=%d", snap.Ingested, snap.Matrix.Total())
+	}
+}
+
+// TestEvictConcurrentWithDrain races eviction against drain — both paths
+// shut the applier down and must not double-close or deadlock.
+func TestEvictConcurrentWithDrain(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 8; i++ {
+		if err := s.CreateTenant(fmt.Sprintf("t%d", i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i += 2 {
+			s.EvictTenant(fmt.Sprintf("t%d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	}()
+	wg.Wait()
+}

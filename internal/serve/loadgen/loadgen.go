@@ -1,0 +1,244 @@
+// Package loadgen is the synthetic client fleet for mapperd: it drives
+// many concurrent protocol connections against a serve.Server (over real
+// TCP or in-memory pipes), shipping deterministic neighbor-pattern TLB
+// samples and interleaved placement queries, and reports sustained
+// events/sec plus query-latency percentiles — the numbers BENCH_serve.json
+// commits and scripts/bench.sh check gates.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlbmap/internal/runner"
+	"tlbmap/internal/stats"
+)
+
+// Options configures one fleet run. Zero values select the defaults noted.
+type Options struct {
+	// Dial opens one connection to the daemon (required). Real fleets
+	// dial TCP; the soak tests hand out net.Pipe ends.
+	Dial func() (net.Conn, error)
+	// Conns is the fleet size (default 64).
+	Conns int
+	// Tenants is how many tenants the fleet spreads over (default 8;
+	// connection i belongs to tenant i mod Tenants).
+	Tenants int
+	// Threads is the per-tenant thread count (default 8, a power of two).
+	Threads int
+	// EventsPerConn is how many samples each connection ships
+	// (default 1000).
+	EventsPerConn int
+	// Batch is the events per E line (default 50).
+	Batch int
+	// QueryEvery issues a placement query every that many batches
+	// (default 4; 0 disables queries).
+	QueryEvery int
+	// Seed derives every connection's deterministic sample stream.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 64
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 8
+	}
+	if o.Threads <= 0 {
+		o.Threads = 8
+	}
+	if o.EventsPerConn <= 0 {
+		o.EventsPerConn = 1000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 50
+	}
+	if o.QueryEvery < 0 {
+		o.QueryEvery = 0
+	} else if o.QueryEvery == 0 {
+		o.QueryEvery = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Report summarizes one fleet run.
+type Report struct {
+	Conns, Tenants, Threads int
+	// Events and Queries count acknowledged requests; Errors counts ERR
+	// responses (overload responses land here), HangUps counts
+	// connections the server closed early or that failed IO.
+	Events, Queries, Errors, HangUps uint64
+	Elapsed                          time.Duration
+	EventsPerSec, QueriesPerSec      float64
+	// QueryP50/QueryP99 summarize round-trip query latency.
+	QueryP50, QueryP99 time.Duration
+}
+
+// String renders the report the way mapperd prints it.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"conns=%d tenants=%d threads=%d events=%d queries=%d errors=%d hangups=%d\n"+
+			"  sustained %.0f events/sec, %.0f queries/sec over %v\n"+
+			"  query latency p50=%v p99=%v",
+		r.Conns, r.Tenants, r.Threads, r.Events, r.Queries, r.Errors, r.HangUps,
+		r.EventsPerSec, r.QueriesPerSec, r.Elapsed.Round(time.Millisecond),
+		r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond))
+}
+
+// Run drives the fleet to completion: every connection HELLOs its tenant,
+// ships EventsPerConn samples in batches with interleaved queries, and
+// BYEs. Sample streams are deterministic per (Seed, connection): thread
+// picked uniformly, page drawn from the thread's 96-page region, which
+// overlaps its successor's region by 32 pages — adjacent threads share
+// pages, so the detected pattern is the neighbor-heavy shape the mappers
+// reward and remaps actually fire under load.
+func Run(o Options) (Report, error) {
+	o = o.withDefaults()
+	if o.Dial == nil {
+		return Report{}, fmt.Errorf("loadgen: Options.Dial is required")
+	}
+	var (
+		events, queries, errs, hangups atomic.Uint64
+		mu                             sync.Mutex
+		latencies                      []time.Duration
+		wg                             sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < o.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lat, ev, q, er, err := drive(o, i)
+			events.Add(ev)
+			queries.Add(q)
+			errs.Add(er)
+			if err != nil {
+				hangups.Add(1)
+			}
+			mu.Lock()
+			latencies = append(latencies, lat...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Conns: o.Conns, Tenants: o.Tenants, Threads: o.Threads,
+		Events: events.Load(), Queries: queries.Load(),
+		Errors: errs.Load(), HangUps: hangups.Load(),
+		Elapsed: elapsed,
+	}
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		r.EventsPerSec = float64(r.Events) / secs
+		r.QueriesPerSec = float64(r.Queries) / secs
+	}
+	var sample stats.Sample
+	for _, d := range latencies {
+		sample.Add(float64(d))
+	}
+	r.QueryP50 = time.Duration(sample.Percentile(50))
+	r.QueryP99 = time.Duration(sample.Percentile(99))
+	return r, nil
+}
+
+// drive runs one connection's whole conversation and returns its query
+// latencies and counts. A non-nil error means the conversation ended
+// early (server hangup, IO failure).
+func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64, err error) {
+	conn, err := o.Dial()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	tenant := fmt.Sprintf("tenant-%03d", i%o.Tenants)
+	rng := rand.New(rand.NewSource(runner.SeedN(o.Seed, i, "loadgen")))
+
+	roundTrip := func(line string) (string, error) {
+		if _, err := w.WriteString(line); err != nil {
+			return "", err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return "", err
+		}
+		if err := w.Flush(); err != nil {
+			return "", err
+		}
+		resp, err := rd.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimSuffix(resp, "\n"), nil
+	}
+
+	resp, err := roundTrip(fmt.Sprintf("HELLO %s %d", tenant, o.Threads))
+	if err != nil {
+		return lat, events, queries, errs, err
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		return lat, events, queries, errs, fmt.Errorf("loadgen: HELLO: %s", resp)
+	}
+
+	var b strings.Builder
+	batches := (o.EventsPerConn + o.Batch - 1) / o.Batch
+	sent := 0
+	for bi := 0; bi < batches; bi++ {
+		n := o.Batch
+		if rest := o.EventsPerConn - sent; n > rest {
+			n = rest
+		}
+		b.Reset()
+		b.WriteString("E")
+		for k := 0; k < n; k++ {
+			// Neighbor pattern: thread t's 96-page region starts at
+			// t*64, so it shares 32 pages with thread t+1's region.
+			thread := rng.Intn(o.Threads)
+			page := uint64(thread)*64 + uint64(rng.Intn(96))
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(thread))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatUint(page, 10))
+		}
+		sent += n
+		resp, err := roundTrip(b.String())
+		if err != nil {
+			return lat, events, queries, errs, err
+		}
+		if strings.HasPrefix(resp, "OK") {
+			events += uint64(n)
+		} else {
+			errs++
+		}
+		if o.QueryEvery > 0 && (bi+1)%o.QueryEvery == 0 {
+			qStart := time.Now()
+			resp, err := roundTrip("Q")
+			if err != nil {
+				return lat, events, queries, errs, err
+			}
+			if strings.HasPrefix(resp, "OK") {
+				lat = append(lat, time.Since(qStart))
+				queries++
+			} else {
+				errs++
+			}
+		}
+	}
+	if _, err := roundTrip("BYE"); err != nil {
+		return lat, events, queries, errs, err
+	}
+	return lat, events, queries, errs, nil
+}

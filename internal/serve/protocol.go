@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlbmap/internal/vm"
+)
+
+// Wire protocol: newline-delimited text, one request line -> one response
+// line, pipelining allowed. Responses start with "OK" or "ERR".
+//
+//	HELLO <tenant> <threads>   bind the connection to a tenant (created if
+//	                           absent; idempotent for an equal thread count)
+//	E <thread>:<page> ...      ingest a batch of TLB samples (page parsed
+//	                           per strconv: decimal or 0x-hex)
+//	Q                          placement query -> "OK <p0,p1,...> conf=<c>
+//	                           remap=<bool> degraded=<bool> reason=<...>"
+//	SNAP                       tenant snapshot -> "OK events=... applied=...
+//	                           dropped=... total=... nnz=... conf=..."
+//	BYE                        close the connection ("OK bye")
+//
+// Limits: lines up to 64 KiB, at most MaxBatch events per E line.
+const (
+	maxLineBytes = 1 << 16
+	// MaxBatch bounds the events one E line may carry; larger batches are
+	// rejected so one client cannot stuff an unbounded allocation into a
+	// single request.
+	MaxBatch = 1024
+)
+
+// Serve accepts connections until the listener closes (which the daemon
+// does on SIGTERM before draining). Each connection is served on its own
+// goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(c)
+	}
+}
+
+// ServeConn speaks the wire protocol on one connection until EOF, BYE, or
+// a slow-consumer hangup. Responses flow through a bounded outbox drained
+// by a writer goroutine under Config.WriteTimeout per line: a client that
+// pipelines requests but never reads responses fills the outbox (cap
+// Config.OutboxCap) and is disconnected — per-connection memory stays
+// bounded no matter how the peer behaves.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	out := make(chan string, s.cfg.OutboxCap)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriter(conn)
+		for line := range out {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := w.WriteString(line); err != nil {
+				break
+			}
+			if err := w.WriteByte('\n'); err != nil {
+				break
+			}
+			// Flush only when the outbox is momentarily empty, so
+			// pipelined responses coalesce into one write.
+			if len(out) == 0 {
+				if err := w.Flush(); err != nil {
+					break
+				}
+			}
+		}
+		// Drop whatever is left and unblock the peer's read side.
+		conn.Close()
+		for range out {
+		}
+	}()
+
+	sess := session{srv: s}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), maxLineBytes)
+	for sc.Scan() {
+		resp, quit := sess.handle(sc.Text())
+		select {
+		case out <- resp:
+		default:
+			// Outbox full: the peer is not reading. Hang up rather than
+			// block the reader or buffer unboundedly.
+			quit = true
+		}
+		if quit {
+			break
+		}
+	}
+	close(out)
+	<-writerDone
+}
+
+// session is the per-connection protocol state: the tenant the connection
+// is bound to, plus reusable parse scratch.
+type session struct {
+	srv    *Server
+	tenant string
+	batch  []Event
+}
+
+// handle executes one request line and returns the one-line response plus
+// whether the connection should close.
+func (sess *session) handle(line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request", false
+	}
+	switch fields[0] {
+	case "HELLO":
+		if len(fields) != 3 {
+			return "ERR usage: HELLO <tenant> <threads>", false
+		}
+		threads, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Sprintf("ERR bad thread count %q", fields[2]), false
+		}
+		if err := sess.srv.CreateTenant(fields[1], threads); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		sess.tenant = fields[1]
+		return "OK", false
+
+	case "E":
+		if sess.tenant == "" {
+			return "ERR HELLO first", false
+		}
+		if len(fields)-1 > MaxBatch {
+			return fmt.Sprintf("ERR batch of %d events exceeds cap %d", len(fields)-1, MaxBatch), false
+		}
+		sess.batch = sess.batch[:0]
+		for _, f := range fields[1:] {
+			threadStr, pageStr, ok := strings.Cut(f, ":")
+			if !ok {
+				return fmt.Sprintf("ERR bad event %q (want thread:page)", f), false
+			}
+			thread, err := strconv.ParseInt(threadStr, 10, 32)
+			if err != nil {
+				return fmt.Sprintf("ERR bad thread in %q", f), false
+			}
+			page, err := strconv.ParseUint(pageStr, 0, 64)
+			if err != nil {
+				return fmt.Sprintf("ERR bad page in %q", f), false
+			}
+			sess.batch = append(sess.batch, Event{Thread: int32(thread), Page: vm.Page(page)})
+		}
+		if err := sess.srv.Ingest(sess.tenant, sess.batch); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK " + strconv.Itoa(len(sess.batch)), false
+
+	case "Q":
+		if sess.tenant == "" {
+			return "ERR HELLO first", false
+		}
+		res, err := sess.srv.Query(context.Background(), sess.tenant)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		var b strings.Builder
+		b.WriteString("OK ")
+		for i, c := range res.Placement {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+		fmt.Fprintf(&b, " conf=%.3f remap=%t degraded=%t reason=%s",
+			res.Confidence, res.Remapped, res.Degraded,
+			strings.ReplaceAll(res.Reason, " ", "_"))
+		return b.String(), false
+
+	case "SNAP":
+		if sess.tenant == "" {
+			return "ERR HELLO first", false
+		}
+		snap, err := sess.srv.Snapshot(sess.tenant)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		if snap.Quarantined {
+			return fmt.Sprintf("ERR tenant quarantined: %v", snap.PanicValue), false
+		}
+		return fmt.Sprintf("OK events=%d applied=%d dropped=%d total=%d nnz=%d conf=%.3f",
+			snap.Ingested, snap.Applied, snap.Dropped,
+			snap.Matrix.Total(), snap.Matrix.NNZ(), snap.Confidence), false
+
+	case "BYE":
+		return "OK bye", true
+
+	default:
+		return fmt.Sprintf("ERR unknown command %q", fields[0]), false
+	}
+}

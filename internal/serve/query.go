@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"tlbmap/internal/runner"
+)
+
+// QueryResult is one placement answer.
+type QueryResult struct {
+	// Placement maps thread -> core, the placement in force after this
+	// query's epoch was evaluated (or the last one in force, when
+	// Degraded).
+	Placement []int
+	// Remapped is true when this query's epoch triggered a migration.
+	Remapped bool
+	// Migrations is the number of threads that moved (0 unless Remapped).
+	Migrations int
+	// Reason is the online mapper's decision rationale, or the
+	// degradation reason when Degraded.
+	Reason string
+	// Confidence is the mapper's pattern-stability score in [0, 1]
+	// (0 when Degraded — the score was not computable within budget).
+	Confidence float64
+	// Degraded is true when the deadline expired mid-mapping and the
+	// response is the last confident placement instead of a fresh one.
+	Degraded bool
+	// Elapsed is the server-side time spent answering.
+	Elapsed time.Duration
+}
+
+// Query evaluates the tenant's communication delta since its previous
+// query (one epoch) through the confidence-gated online mapper and
+// returns the placement in force. The hardened runner is the execution
+// layer: the mapping runs inside runner.Attempt under Config.QueryDeadline
+// (or the earlier ctx deadline), so
+//
+//   - a query that exceeds its budget returns within it, carrying the last
+//     placement a completed query put in force (identity until then),
+//     flagged Degraded — bounded latency beats freshness;
+//   - a panic inside mapping quarantines the tenant (stack retained) and
+//     surfaces as ErrTenantQuarantined instead of killing the daemon.
+//
+// A mapping that missed its deadline keeps running detached and still
+// updates the tenant's state when it completes; only its response is
+// discarded.
+func (s *Server) Query(ctx context.Context, tenantID string) (QueryResult, error) {
+	start := time.Now()
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if pe := t.quarantine.Load(); pe != nil {
+		return QueryResult{}, fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, pe.Value)
+	}
+	s.queries.Add(1)
+	res, err := runner.Attempt(ctx, s.cfg.QueryDeadline, func(ctx context.Context) (QueryResult, error) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		epoch := t.matrix.Sub(t.lastSnap)
+		dec, err := t.online.Observe(epoch)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		t.lastSnap = t.matrix.Clone()
+		t.lastPlacement.Store(dec.Placement)
+		return QueryResult{
+			Placement:  dec.Placement,
+			Remapped:   dec.Remap,
+			Migrations: dec.Migrations,
+			Reason:     dec.Reason,
+			Confidence: dec.Confidence,
+		}, nil
+	})
+	var pe *runner.PanicError
+	switch {
+	case err == nil:
+		res.Elapsed = time.Since(start)
+		return res, nil
+	case errors.As(err, &pe):
+		t.quarantine.Store(pe)
+		return QueryResult{}, fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, pe.Value)
+	case errors.Is(err, context.DeadlineExceeded):
+		// ctx itself may still be live — only the per-request budget
+		// expired. Serve the last placement in force, degraded.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return QueryResult{}, ctxErr
+		}
+		s.degraded.Add(1)
+		last, _ := t.lastPlacement.Load().([]int)
+		return QueryResult{
+			Placement: append([]int(nil), last...),
+			Reason:    fmt.Sprintf("deadline %v exceeded; serving last placement", s.cfg.QueryDeadline),
+			Degraded:  true,
+			Elapsed:   time.Since(start),
+		}, nil
+	default:
+		return QueryResult{}, err
+	}
+}

@@ -1,0 +1,399 @@
+// Package serve is the mapping-as-a-service layer: a long-running daemon
+// core that ingests TLB-sample streams from many concurrent clients,
+// maintains sharded per-tenant detector state (per-thread TLBs behind a
+// tlb.PresenceIndex feeding a comm.Matrix), and answers placement queries
+// through the confidence-gated online mapper within a per-request
+// deadline.
+//
+// It promotes the simulator's core packages behind a small stable serving
+// API — Server.Ingest, Server.Query, Server.Snapshot — instead of the
+// CLI-only entry points, and reuses the hardened runner semantics as the
+// service execution layer: queries run inside runner.Attempt (deadline +
+// panic isolation), ingestion flows through bounded per-tenant queues
+// (backpressure), and a panicking tenant is quarantined with its stack
+// without poisoning sibling shards. Drain stops ingestion, applies what is
+// queued, and leaves query/snapshot state readable.
+//
+// Concurrency model: tenants are spread over striped-lock shards; each
+// tenant owns one applier goroutine that drains its bounded queue, so all
+// detector-state mutation is serialized per tenant and the resulting
+// matrix is byte-identical to a single-threaded replay of the applied
+// event order (the soak tests assert exactly this).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlbmap/internal/fault"
+	"tlbmap/internal/mapping"
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/vm"
+)
+
+// Service errors. The wire protocol maps each to a one-line ERR response;
+// API callers match them with errors.Is.
+var (
+	// ErrTenantNotFound is returned for a tenant that was never created
+	// or has been evicted (eviction mid-stream is this error, not a
+	// panic).
+	ErrTenantNotFound = errors.New("serve: tenant not found")
+	// ErrTenantExists is returned by CreateTenant when the tenant already
+	// exists with a different thread count.
+	ErrTenantExists = errors.New("serve: tenant exists with different thread count")
+	// ErrTenantQuarantined is returned for a tenant whose applier or
+	// query path panicked; the panic stack is retained in the tenant's
+	// stats and the tenant no longer serves until evicted.
+	ErrTenantQuarantined = errors.New("serve: tenant quarantined after panic")
+	// ErrOverloaded is returned when a tenant's bounded ingest queue
+	// stays full past the enqueue wait — the backpressure signal.
+	ErrOverloaded = errors.New("serve: tenant ingest queue full")
+	// ErrDraining is returned once Drain has begun: ingestion and tenant
+	// creation stop; queries and snapshots keep working.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrBadEvent is returned for an event naming a thread outside the
+	// tenant's range.
+	ErrBadEvent = errors.New("serve: event thread out of range")
+)
+
+// Event is one TLB-sample: the tenant's thread touched (and, if it was not
+// already resident in that thread's TLB, faulted on) a virtual page. It is
+// the unit the daemon ingests — the trap stream of the paper's SM
+// mechanism (Figure 1a), sampled and shipped to the detector machine.
+type Event struct {
+	Thread int32
+	Page   vm.Page
+}
+
+// Config tunes a Server. The zero value selects every default.
+type Config struct {
+	// Shards is the number of striped tenant-map locks (default 16).
+	Shards int
+	// QueueCap is the per-tenant bounded ingest queue capacity, in
+	// batches (default 256). A slow applier fills it and ingestion
+	// degrades to ErrOverloaded instead of growing memory.
+	QueueCap int
+	// EnqueueWait bounds how long Ingest blocks on a full queue before
+	// returning ErrOverloaded (default 10ms).
+	EnqueueWait time.Duration
+	// QueryDeadline is the per-request mapping budget: a query that
+	// exceeds it returns the last placement in force, flagged Degraded
+	// (default 100ms).
+	QueryDeadline time.Duration
+	// MaxThreads caps a tenant's thread count (default 1024). Thread
+	// counts must be powers of two, matching the mappers' contract.
+	MaxThreads int
+	// TLB is the per-thread TLB geometry (default tlb.DefaultConfig, the
+	// paper's 64-entry 4-way unit).
+	TLB tlb.Config
+	// MinConfidence overrides the online mapper's confidence gate
+	// (default mapping.DefaultMinConfidence; negative disables).
+	MinConfidence float64
+	// Faults arms the detector-relevant fault scenarios on the ingest
+	// path: SampleLoss drops events before they charge the matrix (the
+	// refill still happens) and ShootdownStorm flushes random threads'
+	// TLBs. Engine-side scenarios do not apply to the serving path and
+	// are ignored. The zero plan injects nothing.
+	Faults fault.Plan
+	// RecordApplied keeps a per-tenant log of events in applied order,
+	// the replay input of the differential soak tests. Serving
+	// deployments leave it off.
+	RecordApplied bool
+	// Mapper, when non-nil, replaces the size-dispatching Auto algorithm
+	// inside every tenant's online mapper (tests install slow or exact
+	// mappers here).
+	Mapper mapping.Algorithm
+	// OutboxCap is the per-connection bounded response queue capacity
+	// (default 64): a client that stops reading its responses is hung up
+	// on once the outbox fills, so one blocked reader cannot grow server
+	// memory.
+	OutboxCap int
+	// WriteTimeout bounds one response write on a connection
+	// (default 5s).
+	WriteTimeout time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.EnqueueWait <= 0 {
+		c.EnqueueWait = 10 * time.Millisecond
+	}
+	if c.QueryDeadline <= 0 {
+		c.QueryDeadline = 100 * time.Millisecond
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1024
+	}
+	if c.TLB == (tlb.Config{}) {
+		c.TLB = tlb.DefaultConfig
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = mapping.DefaultMinConfidence
+	}
+	if c.OutboxCap <= 0 {
+		c.OutboxCap = 64
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// shard is one stripe of the tenant map.
+type shard struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// Stats is a point-in-time server-wide summary.
+type Stats struct {
+	Tenants     int
+	Ingested    uint64 // events accepted into a queue
+	Applied     uint64 // events folded into detector state
+	Dropped     uint64 // accepted events discarded (evict/quarantine)
+	Rejected    uint64 // events refused at Ingest (overload backpressure)
+	LostSamples uint64 // events dropped by the SampleLoss injector
+	Storms      uint64 // ShootdownStorm flushes performed
+	Queries     uint64
+	Degraded    uint64 // queries answered past the deadline with the last placement
+	Overloads   uint64 // Ingest calls rejected with ErrOverloaded
+	Quarantines uint64 // live tenants currently quarantined after a panic
+}
+
+// Server is the mapping service: sharded tenant state plus the counters
+// the daemon reports. Create one with New, feed it through Ingest/Query/
+// Snapshot (or the wire protocol via Serve/ServeConn), stop it with Drain.
+type Server struct {
+	cfg      Config
+	shards   []*shard
+	draining atomic.Bool
+	wg       sync.WaitGroup // live tenant appliers
+
+	queries   atomic.Uint64
+	degraded  atomic.Uint64
+	overloads atomic.Uint64
+}
+
+// New builds a Server from the config (zero value = all defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{tenants: make(map[string]*tenant)}
+	}
+	return s
+}
+
+// shardFor stripes a tenant ID over the shard array by FNV-32a.
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// lookup returns the live tenant or ErrTenantNotFound.
+func (s *Server) lookup(id string) (*tenant, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	t := sh.tenants[id]
+	sh.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	return t, nil
+}
+
+// CreateTenant registers a tenant with the given thread count (a power of
+// two up to Config.MaxThreads) and starts its applier. Creating an
+// existing tenant with the same thread count is a no-op, so reconnecting
+// clients can HELLO idempotently.
+func (s *Server) CreateTenant(id string, threads int) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if id == "" {
+		return errors.New("serve: empty tenant id")
+	}
+	if threads <= 0 || threads > s.cfg.MaxThreads || threads&(threads-1) != 0 {
+		return fmt.Errorf("serve: tenant %q: thread count %d must be a power of two in [1, %d]",
+			id, threads, s.cfg.MaxThreads)
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if existing := sh.tenants[id]; existing != nil {
+		if existing.threads == threads {
+			return nil
+		}
+		return fmt.Errorf("%w: %q has %d threads, requested %d",
+			ErrTenantExists, id, existing.threads, threads)
+	}
+	t := newTenant(id, threads, s.cfg)
+	sh.tenants[id] = t
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t.run()
+	}()
+	return nil
+}
+
+// EvictTenant removes a tenant and releases its resources: the applier
+// exits (discarding whatever is still queued) before EvictTenant returns,
+// so shard map size and goroutine count go back to baseline. In-flight
+// Ingest calls on the evicted tenant fail with ErrTenantNotFound.
+func (s *Server) EvictTenant(id string) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	t := sh.tenants[id]
+	delete(sh.tenants, id)
+	sh.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	t.shutdown()
+	<-t.done
+	return nil
+}
+
+// Ingest enqueues a batch of events for a tenant. The batch is copied, so
+// the caller may reuse the slice. Backpressure is bounded and explicit:
+// when the tenant's queue stays full past Config.EnqueueWait the batch is
+// rejected with ErrOverloaded and counted as dropped — a slow tenant can
+// never grow its queue past its cap.
+func (s *Server) Ingest(tenantID string, events []Event) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return err
+	}
+	if pe := t.quarantine.Load(); pe != nil {
+		return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, pe.Value)
+	}
+	for _, e := range events {
+		if e.Thread < 0 || int(e.Thread) >= t.threads {
+			return fmt.Errorf("%w: thread %d of tenant %q (threads 0..%d)",
+				ErrBadEvent, e.Thread, tenantID, t.threads-1)
+		}
+	}
+	batch := append([]Event(nil), events...)
+	select {
+	case t.queue <- batch:
+		t.ingested.Add(uint64(len(batch)))
+		return nil
+	default:
+	}
+	timer := time.NewTimer(s.cfg.EnqueueWait)
+	defer timer.Stop()
+	select {
+	case t.queue <- batch:
+		t.ingested.Add(uint64(len(batch)))
+		return nil
+	case <-t.done:
+		return fmt.Errorf("%w: %q evicted mid-stream", ErrTenantNotFound, tenantID)
+	case <-timer.C:
+		t.rejected.Add(uint64(len(batch)))
+		s.overloads.Add(1)
+		return fmt.Errorf("%w: tenant %q (cap %d batches)", ErrOverloaded, tenantID, s.cfg.QueueCap)
+	}
+}
+
+// Snapshot returns a deep copy of a tenant's communication matrix plus its
+// stats. The copy is taken under the tenant lock, so it is a consistent
+// point-in-time view even while ingestion continues.
+func (s *Server) Snapshot(tenantID string) (*TenantSnapshot, error) {
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return nil, err
+	}
+	return t.snapshot(), nil
+}
+
+// Tenants returns the live tenant IDs in shard order (unsorted).
+func (s *Server) Tenants() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.tenants {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Stats aggregates the server-wide counters over every live tenant.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries:   s.queries.Load(),
+		Degraded:  s.degraded.Load(),
+		Overloads: s.overloads.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tenants {
+			st.Tenants++
+			if t.quarantine.Load() != nil {
+				st.Quarantines++
+			}
+			st.Ingested += t.ingested.Load()
+			st.Applied += t.applied.Load()
+			st.Dropped += t.dropped.Load()
+			st.Rejected += t.rejected.Load()
+			st.LostSamples += t.lost.Load()
+			st.Storms += t.storms.Load()
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain is the graceful-shutdown path (SIGTERM): it stops ingestion and
+// tenant creation, lets every applier finish what is already queued, and
+// waits for them to exit. Tenant state stays resident — queries and
+// snapshots still work after a drain, which is what lets the daemon answer
+// "what did you learn" before the process exits. Returns ctx.Err() if the
+// context expires first (appliers keep draining in the background).
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tenants {
+			t.drain.Store(true)
+			t.shutdown()
+		}
+		sh.mu.RUnlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -108,6 +108,30 @@ func (s *Sample) Median() float64 {
 	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile (p in [0, 100]) of the sample by
+// the nearest-rank method, or 0 for an empty sample. It is the latency
+// summary of the serving benchmarks (p50/p99 query latency).
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
 // Values returns a copy of the observations in insertion order.
 func (s *Sample) Values() []float64 {
 	out := make([]float64, len(s.xs))

@@ -2,6 +2,7 @@ package tlb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tlbmap/internal/vm"
 )
@@ -110,6 +111,31 @@ func (ix *PresenceIndex) Holders(p vm.Page) []uint64 {
 	}
 	base := int(i) * ix.words
 	return ix.masks[base : base+ix.words]
+}
+
+// HoldersEach calls fn with the slot of every attached TLB currently
+// holding a translation for the page, in ascending slot order. It is the
+// serving-path form of Holders: no aliased mask escapes to the caller, so
+// fn may mutate the index (insert, invalidate) once it returns — the bits
+// are decoded into a local copy first.
+func (ix *PresenceIndex) HoldersEach(p vm.Page, fn func(slot int)) {
+	i, ok := ix.pos[p]
+	if !ok {
+		return
+	}
+	var buf [4]uint64
+	mask := buf[:0]
+	if ix.words > len(buf) {
+		mask = make([]uint64, 0, ix.words)
+	}
+	base := int(i) * ix.words
+	mask = append(mask, ix.masks[base:base+ix.words]...)
+	for w, m := range mask {
+		for m != 0 {
+			fn(w<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+		}
+	}
 }
 
 // Walk visits every resident page's holder mask, batching consecutive

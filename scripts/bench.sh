@@ -1,8 +1,9 @@
 #!/bin/sh
-# Benchmark harness: runs the engine/detector micro-benchmarks and the
-# end-to-end parallel suite, then renders the results as BENCH_engine.json
-# (repo root). Commit the refreshed file alongside any change that claims a
-# performance delta, so regressions show up in review as a diff.
+# Benchmark harness: runs the engine/detector micro-benchmarks, the
+# end-to-end parallel suite, and the mapperd serving selftest, then renders
+# the results as BENCH_engine.json and BENCH_serve.json (repo root). Commit
+# the refreshed files alongside any change that claims a performance delta,
+# so regressions show up in review as a diff.
 #
 # Usage:
 #
@@ -13,15 +14,43 @@
 # committed number is the minimum across repetitions, which is the standard
 # way to suppress scheduler noise on a shared machine).
 #
-# "check" re-runs BenchmarkEngine, BenchmarkMultilevel and
-# BenchmarkSparseMatrix and compares events/sec against the committed
-# BENCH_engine.json: any case dropping below 75% of its committed
-# throughput fails, so an accidental hot-path regression is caught by CI
-# instead of by the next manual bench run.
+# "check" re-runs BenchmarkEngine, BenchmarkMultilevel, BenchmarkSparseMatrix
+# and the mapperd selftest and compares events/sec (and for the daemon,
+# queries/sec) against the committed BENCH_engine.json / BENCH_serve.json:
+# any case dropping below 75% of its committed throughput fails, so an
+# accidental hot-path regression is caught by CI instead of by the next
+# manual bench run.
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT="BENCH_engine.json"
+SERVE_OUT="BENCH_serve.json"
+
+# The fixed fleet shape both modes run, so committed and current numbers
+# are comparable: 256 connections over 16 tenants, 1000 events each.
+serve_selftest() {
+	go run ./cmd/mapperd -selftest -conns 256 -tenants 16 -threads 8 \
+		-events 1000 -batch 50 -query-every 4 -seed 1
+}
+
+# serve_best runs the selftest N times and keeps the BENCH line with the
+# best events/sec (best-of-N suppresses scheduler noise, as elsewhere).
+serve_best() {
+	_n="$1"
+	_best=""
+	_best_evs=0
+	_i=0
+	while [ "$_i" -lt "$_n" ]; do
+		_line="$(serve_selftest | tee /dev/stderr | grep '^BENCH ')"
+		_evs="$(echo "$_line" | sed -n 's/.*events_per_sec=\([0-9]*\).*/\1/p')"
+		if [ "${_evs:-0}" -gt "$_best_evs" ]; then
+			_best_evs="$_evs"
+			_best="$_line"
+		fi
+		_i=$((_i + 1))
+	done
+	echo "$_best"
+}
 
 if [ "${1:-}" = "check" ]; then
 	[ -f "$OUT" ] || { echo "bench check: no committed $OUT" >&2; exit 1; }
@@ -75,6 +104,35 @@ if [ "${1:-}" = "check" ]; then
 			if (fail) exit 1
 			print "bench check passed"
 		}' "$OUT" "$RAW" >&2
+
+	[ -f "$SERVE_OUT" ] || { echo "bench check: no committed $SERVE_OUT" >&2; exit 1; }
+	echo "== bench check: mapperd serving vs committed $SERVE_OUT ==" >&2
+	SERVE_LINE="$(serve_best 3)"
+	echo "$SERVE_LINE" | awk -v committed="$(cat "$SERVE_OUT")" '
+		{
+			for (i = 1; i <= NF; i++)
+				if (split($i, kv, "=") == 2) cur[kv[1]] = kv[2] + 0
+		}
+		END {
+			n = split(committed, lines, "\n")
+			for (i = 1; i <= n; i++)
+				for (k in cur)
+					if (match(lines[i], "\"" k "\": [0-9.]+"))
+						base[k] = substr(lines[i], RSTART + length(k) + 4, RLENGTH - length(k) - 4) + 0
+			fail = 0
+			for (k in base) {
+				if (k == "conns" || k ~ /_us$/) continue # shape + latency: informational
+				ratio = cur[k] / base[k]
+				printf "%-18s %12.0f  committed %12.0f  (%.2fx)\n", k, cur[k], base[k], ratio
+				if (ratio < 0.75) {
+					printf "bench check FAILED: mapperd %s regressed to %.0f%% of committed throughput\n", \
+						k, ratio * 100
+					fail = 1
+				}
+			}
+			if (fail) exit 1
+			print "serve bench check passed"
+		}' >&2
 	exit 0
 fi
 
@@ -146,3 +204,18 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 	}' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+echo "== serving: mapperd selftest (best of $COUNT) ==" >&2
+serve_best "$COUNT" | awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+	{
+		printf "{\n  \"host\": \"%s\",\n", host
+		printf "  \"fleet\": {\"tenants\": 16, \"threads\": 8, \"events_per_conn\": 1000, \"batch\": 50, \"query_every\": 4},\n"
+		printf "  \"serving\": {"
+		out = ""
+		for (i = 2; i <= NF; i++)
+			if (split($i, kv, "=") == 2)
+				out = out sprintf("%s\"%s\": %s", (out == "" ? "" : ", "), kv[1], kv[2])
+		printf "%s}\n}\n", out
+	}' > "$SERVE_OUT"
+
+echo "wrote $SERVE_OUT" >&2
