@@ -57,6 +57,30 @@ SERVE_SMOKE="$(go run ./cmd/mapperd -selftest -conns 64 -tenants 8 -threads 8 \
 	-events 200 -batch 25 -query-every 4 -seed 1)"
 echo "$SERVE_SMOKE" | grep -q 'drained cleanly'
 
+# Reconnect smoke: the same fleet sequenced, with every connection
+# deliberately dropping and resuming mid-stream over real TCP. The selftest
+# exits non-zero if resume double-applies or loses a single event.
+RECONNECT_SMOKE="$(go run ./cmd/mapperd -selftest -conns 64 -tenants 8 -threads 8 \
+	-events 200 -batch 25 -query-every 4 -seed 2 -reconnect)"
+echo "$RECONNECT_SMOKE" | grep -q 'drained cleanly'
+
+# Crash smoke: durability end-to-end at the process level. A durable
+# daemon is SIGKILLed mid-ingest — no drain, no final snapshot, possibly a
+# torn record at the WAL tail — and a restart must recover every tenant
+# (snapshot restore + WAL-tail replay) under a timeout. go build, not
+# go run: SIGKILL must land on mapperd itself, not a wrapper.
+CRASH_DIR="$(mktemp -d)"
+CRASH_BIN="$(mktemp -u)"
+go build -o "$CRASH_BIN" ./cmd/mapperd
+"$CRASH_BIN" -selftest -conns 64 -tenants 8 -threads 8 -events 200000 \
+	-batch 50 -query-every 0 -seed 3 -dir "$CRASH_DIR" -sync interval &
+CRASH_PID=$!
+sleep 2
+kill -9 "$CRASH_PID" || true
+wait "$CRASH_PID" || true
+timeout 60 "$CRASH_BIN" -verify-recovery -dir "$CRASH_DIR" | grep -q 'recovery OK'
+rm -rf "$CRASH_DIR" "$CRASH_BIN"
+
 # Scale smoke: one 256-core cell of the manycore scale study end-to-end
 # through the CLI — hierarchical topology generation, SM detection with
 # 256 threads, the sparse matrix representation and the multilevel mapper
@@ -69,3 +93,4 @@ timeout 300 go run ./cmd/experiments -exp scale -class S -bench CG -cores 256 -m
 go test ./internal/check -run=NONE -fuzz='FuzzEngineVsOracle$' -fuzztime=10s
 go test ./internal/check -run=NONE -fuzz=FuzzEngineVsOracleFaults -fuzztime=10s
 go test ./internal/mapping -run=NONE -fuzz=FuzzMultilevelVsBlossom -fuzztime=10s
+go test ./internal/wal -run=NONE -fuzz=FuzzWALRecovery -fuzztime=10s

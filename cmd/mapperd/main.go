@@ -9,8 +9,23 @@
 //
 //	mapperd [-addr HOST:PORT] [-shards N] [-queue-cap N] [-deadline D]
 //	        [-faults SPEC] [-fault-seed N]
+//	        [-dir PATH] [-sync always|interval|never] [-snapshot-every N]
 //	mapperd -selftest [-conns N] [-tenants N] [-threads N] [-events N]
-//	        [-batch N] [-query-every N] [-seed N]
+//	        [-batch N] [-query-every N] [-seed N] [-reconnect] [-dir PATH]
+//	mapperd -verify-recovery -dir PATH
+//
+// With -dir the daemon is durable: every acknowledged batch is appended to
+// a per-tenant write-ahead log under PATH (fsynced per -sync), snapshots
+// compact the log every -snapshot-every applied events, and a restart —
+// clean or after SIGKILL — recovers every tenant from snapshot plus WAL
+// tail before accepting connections. SIGTERM/SIGINT additionally writes a
+// final snapshot and syncs the logs before exiting, so a drained daemon
+// restarts with nothing to replay.
+//
+// -verify-recovery opens -dir, runs the full recovery path, prints one
+// "recovery OK ..." banner with what was recovered, and exits — non-zero
+// if any tenant fails to come back. The CI crash-smoke stage SIGKILLs a
+// live ingesting daemon and then runs this under a timeout.
 //
 // -selftest starts the daemon on an ephemeral port, drives it with the
 // synthetic client fleet (internal/serve/loadgen), drains, and prints the
@@ -18,7 +33,10 @@
 // with one machine-readable "BENCH ..." line that scripts/bench.sh renders
 // into BENCH_serve.json and gates in check mode. It exits non-zero on any
 // hangup, ERR response, or unclean drain — which is what makes it the CI
-// serve-smoke stage.
+// serve-smoke stage. -reconnect makes the fleet sequenced: every
+// connection deliberately drops and resumes mid-stream through the
+// idempotent-reconnect protocol, and the selftest asserts nothing was
+// double-applied.
 package main
 
 import (
@@ -35,6 +53,7 @@ import (
 	"tlbmap/internal/fault"
 	"tlbmap/internal/serve"
 	"tlbmap/internal/serve/loadgen"
+	"tlbmap/internal/wal"
 )
 
 func main() {
@@ -48,6 +67,11 @@ func main() {
 		faults    = flag.String("faults", "", "fault spec armed on the ingest path (sampleloss[:rate],shootdown[:rate])")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injection seed")
 
+		dir       = flag.String("dir", "", "durable state directory (empty = in-memory only)")
+		syncSpec  = flag.String("sync", "always", "WAL sync policy: always|interval|never")
+		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact every N applied events (0 = default 4096)")
+		verify    = flag.Bool("verify-recovery", false, "recover every tenant from -dir, print a summary, and exit")
+
 		selftest   = flag.Bool("selftest", false, "run the synthetic client fleet against an in-process daemon and exit")
 		conns      = flag.Int("conns", 256, "selftest: fleet size")
 		tenants    = flag.Int("tenants", 16, "selftest: tenant count")
@@ -56,6 +80,7 @@ func main() {
 		batch      = flag.Int("batch", 50, "selftest: events per batch")
 		queryEvery = flag.Int("query-every", 4, "selftest: query every N batches (0 = never)")
 		seed       = flag.Int64("seed", 1, "selftest: fleet seed")
+		reconnect  = flag.Bool("reconnect", false, "selftest: sequenced fleet with injected mid-stream disconnects")
 	)
 	flag.Parse()
 
@@ -63,18 +88,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(serve.Config{
+	policy, err := wal.ParseSyncPolicy(*syncSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := serve.Config{
 		Shards:        *shards,
 		QueueCap:      *queueCap,
 		QueryDeadline: *deadline,
 		Faults:        plan,
-	})
+		Dir:           *dir,
+		Sync:          policy,
+		SnapshotEvery: *snapEvery,
+	}
+
+	if *verify {
+		if *dir == "" {
+			log.Fatal("-verify-recovery requires -dir")
+		}
+		if err := runVerifyRecovery(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *selftest {
 		if err := runSelftest(srv, *addr, loadgen.Options{
 			Conns: *conns, Tenants: *tenants, Threads: *threads,
 			EventsPerConn: *events, Batch: *batch, QueryEvery: *queryEvery,
-			Seed: *seed,
+			Seed: *seed, Reconnect: *reconnect,
 		}, *deadline); err != nil {
 			log.Fatal(err)
 		}
@@ -85,8 +132,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (shards=%d queue-cap=%d deadline=%v faults=%s)",
-		l.Addr(), *shards, *queueCap, *deadline, plan)
+	log.Printf("listening on %s (shards=%d queue-cap=%d deadline=%v faults=%s dir=%q sync=%s)",
+		l.Addr(), *shards, *queueCap, *deadline, plan, *dir, policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -107,6 +154,39 @@ func main() {
 	st := srv.Stats()
 	log.Printf("drained cleanly: tenants=%d applied=%d dropped=%d queries=%d degraded=%d quarantined=%d",
 		st.Tenants, st.Applied, st.Dropped, st.Queries, st.Degraded, st.Quarantines)
+}
+
+// newServer builds the configured server: durable (recovering whatever
+// already lives under cfg.Dir) when a state directory is set, in-memory
+// otherwise.
+func newServer(cfg serve.Config) (*serve.Server, error) {
+	if cfg.Dir == "" {
+		return serve.New(cfg), nil
+	}
+	return serve.Open(cfg)
+}
+
+// runVerifyRecovery runs the full recovery path over cfg.Dir — snapshot
+// restore plus WAL-tail replay for every tenant on disk — then drains
+// (writing fresh snapshots) and prints one machine-checkable banner. Any
+// tenant that cannot come back makes the whole run fail.
+func runVerifyRecovery(cfg serve.Config) error {
+	srv, err := serve.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("recovery FAILED: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("recovery FAILED: drain: %w", err)
+	}
+	st := srv.Stats()
+	if st.Quarantines > 0 {
+		return fmt.Errorf("recovery FAILED: %d tenants quarantined", st.Quarantines)
+	}
+	fmt.Printf("recovery OK: tenants=%d applied=%d lost=%d storms=%d\n",
+		st.Tenants, st.Applied, st.LostSamples, st.Storms)
+	return nil
 }
 
 // runSelftest is the in-process fleet run: ephemeral listener, loadgen

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildMapperd compiles the daemon once into a temp dir; the graceful-
+// shutdown regression has to signal a real process, not an in-process
+// server — SIGTERM handling, the drain path, and the exit banner are all
+// main()'s code.
+func buildMapperd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mapperd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSIGTERMDrainFinalizes is the graceful-shutdown regression: a durable
+// daemon that is SIGTERMed mid-service must stop accepting, drain, write
+// final snapshots, sync its WALs, and exit 0 with the drain banner — and a
+// subsequent -verify-recovery must see every acknowledged event without
+// replaying anything the snapshot should have covered.
+func TestSIGTERMDrainFinalizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level regression skipped in -short mode")
+	}
+	bin := buildMapperd(t)
+	dir := t.TempDir()
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-sync", "always")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "listening on HOST:PORT (...)" once the ephemeral
+	// port is bound; everything after that line is the shutdown banner.
+	logs := bufio.NewScanner(stderr)
+	var addr string
+	for logs.Scan() {
+		if f := strings.Fields(logs.Text()); len(f) >= 3 && f[1] == "listening" {
+			addr = f[3]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never logged its listen address")
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	roundTrip := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			t.Fatalf("write %q: %v", line, err)
+		}
+		resp, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read response to %q: %v", line, err)
+		}
+		return strings.TrimSuffix(resp, "\n")
+	}
+	if resp := roundTrip("HELLO app 4 conn-test"); resp != "OK seq=0" {
+		t.Fatalf("HELLO = %q, want \"OK seq=0\"", resp)
+	}
+	const batches = 8
+	for i := 1; i <= batches; i++ {
+		line := fmt.Sprintf("E %d 0:%d 1:%d 2:%d", i, i, i, i+100)
+		if resp := roundTrip(line); !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("batch %d: %q", i, resp)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var banner strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		for logs.Scan() {
+			banner.WriteString(logs.Text())
+			banner.WriteByte('\n')
+		}
+		done <- cmd.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v\n%s", err, banner.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\n%s", banner.String())
+	}
+	if !strings.Contains(banner.String(), "drained cleanly") {
+		t.Errorf("shutdown banner missing \"drained cleanly\":\n%s", banner.String())
+	}
+	if !strings.Contains(banner.String(), "applied=24") {
+		t.Errorf("shutdown banner should report applied=24:\n%s", banner.String())
+	}
+
+	// The drain finalized: recovery sees all 24 events and the source's
+	// acknowledged sequence, from the final snapshot alone.
+	out, err := exec.Command(bin, "-verify-recovery", "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("verify-recovery: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "recovery OK: tenants=1 applied=24") {
+		t.Errorf("verify-recovery = %q, want tenants=1 applied=24", out)
+	}
+}

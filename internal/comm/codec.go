@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for matrices: the durability layer snapshots per-tenant
+// communication matrices into checkpoint blobs, so the encoding must be
+// deterministic (equal matrices encode to equal bytes regardless of
+// representation history) and must round-trip both representations and the
+// row budget exactly.
+//
+// Layout (all little-endian):
+//
+//	u32 n
+//	u8  flags (bit 0: sparse representation)
+//	u32 row budget
+//	u64 nnz (non-zero upper-triangle cells)
+//	nnz × (u32 i, u32 j, u64 w)   in ascending (i, j) — ForEach order
+//
+// Only the upper triangle is stored; symmetry is restored on decode.
+
+const matrixFlagSparse = 1
+
+// AppendBinary appends the matrix's deterministic binary encoding to buf
+// and returns the extended slice.
+func (m *Matrix) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.n))
+	var flags byte
+	if m.rows != nil {
+		flags |= matrixFlagSparse
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.budget))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.NNZ()))
+	m.ForEach(func(i, j int, w uint64) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(j))
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	})
+	return buf
+}
+
+// DecodeMatrix decodes a matrix encoded by AppendBinary from the front of
+// data, returning the matrix and the remaining bytes. Every structural
+// violation — short buffer, out-of-range indices, non-ascending cells — is
+// an error, never a panic: snapshot blobs are checksummed upstream, but
+// the decoder still refuses to build an invalid matrix from a valid-CRC
+// encoding of one.
+func DecodeMatrix(data []byte) (*Matrix, []byte, error) {
+	if len(data) < 4+1+4+8 {
+		return nil, nil, fmt.Errorf("comm: matrix decode: short header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	flags := data[4]
+	budget := int(binary.LittleEndian.Uint32(data[5:9]))
+	nnz := binary.LittleEndian.Uint64(data[9:17])
+	data = data[17:]
+	if n <= 0 || n > 1<<24 {
+		return nil, nil, fmt.Errorf("comm: matrix decode: invalid thread count %d", n)
+	}
+	if nnz > uint64(n)*uint64(n) {
+		return nil, nil, fmt.Errorf("comm: matrix decode: nnz %d exceeds %d×%d", nnz, n, n)
+	}
+	var m *Matrix
+	if flags&matrixFlagSparse != 0 {
+		m = NewSparseMatrix(n)
+	} else {
+		m = NewDenseMatrix(n)
+	}
+	prevI, prevJ := -1, -1
+	for k := uint64(0); k < nnz; k++ {
+		if len(data) < 16 {
+			return nil, nil, fmt.Errorf("comm: matrix decode: truncated at cell %d of %d", k, nnz)
+		}
+		i := int(binary.LittleEndian.Uint32(data[0:4]))
+		j := int(binary.LittleEndian.Uint32(data[4:8]))
+		w := binary.LittleEndian.Uint64(data[8:16])
+		data = data[16:]
+		if i < 0 || j <= i || j >= n {
+			return nil, nil, fmt.Errorf("comm: matrix decode: cell (%d, %d) outside upper triangle of %d", i, j, n)
+		}
+		if i < prevI || (i == prevI && j <= prevJ) {
+			return nil, nil, fmt.Errorf("comm: matrix decode: cell (%d, %d) out of order after (%d, %d)", i, j, prevI, prevJ)
+		}
+		if w == 0 {
+			return nil, nil, fmt.Errorf("comm: matrix decode: explicit zero cell (%d, %d)", i, j)
+		}
+		prevI, prevJ = i, j
+		m.Set(i, j, w)
+	}
+	// The budget is installed after the cells. An honest encoding's rows
+	// already satisfy it (they were trimmed before encoding) so this never
+	// evicts; SetRowBudget still re-trims, so even a crafted over-budget
+	// encoding cannot smuggle in a matrix that violates its own budget.
+	if budget > 0 {
+		m.SetRowBudget(budget)
+	}
+	return m, data, nil
+}
+
+// AppendOptionalMatrix encodes a possibly-nil matrix: one presence byte,
+// then the encoding.
+func AppendOptionalMatrix(buf []byte, m *Matrix) []byte {
+	if m == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return m.AppendBinary(buf)
+}
+
+// DecodeOptionalMatrix decodes what AppendOptionalMatrix wrote.
+func DecodeOptionalMatrix(data []byte) (*Matrix, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("comm: optional matrix decode: empty buffer")
+	}
+	present, data := data[0], data[1:]
+	switch present {
+	case 0:
+		return nil, data, nil
+	case 1:
+		return DecodeMatrix(data)
+	default:
+		return nil, nil, fmt.Errorf("comm: optional matrix decode: bad presence byte %d", present)
+	}
+}

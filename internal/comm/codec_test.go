@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix builds a matrix in the requested representation with a
+// seeded random fill.
+func randomMatrix(t *testing.T, n int, sparse bool, budget int, seed int64) *Matrix {
+	t.Helper()
+	var m *Matrix
+	if sparse {
+		m = NewSparseMatrix(n)
+	} else {
+		m = NewDenseMatrix(n)
+	}
+	if budget > 0 {
+		m.SetRowBudget(budget)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < n*n/2; k++ {
+		m.Add(rng.Intn(n), rng.Intn(n), uint64(1+rng.Intn(1000)))
+	}
+	return m
+}
+
+func TestMatrixCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		sparse bool
+		budget int
+	}{
+		{"dense-small", 8, false, 0},
+		{"dense-empty", 4, false, 0},
+		{"sparse-small", 8, true, 0},
+		{"sparse-large", 300, true, 0},
+		{"sparse-budgeted", 64, true, 5},
+		{"dense-one-thread", 1, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := randomMatrix(t, tc.n, tc.sparse, tc.budget, 42)
+			if tc.name == "dense-empty" {
+				m = NewDenseMatrix(tc.n)
+			}
+			enc := m.AppendBinary(nil)
+			got, rest, err := DecodeMatrix(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("decode left %d trailing bytes", len(rest))
+			}
+			if !got.Equal(m) {
+				t.Fatal("round-tripped matrix differs")
+			}
+			if got.IsSparse() != m.IsSparse() {
+				t.Errorf("representation changed: sparse %t -> %t", m.IsSparse(), got.IsSparse())
+			}
+			if got.RowBudget() != m.RowBudget() {
+				t.Errorf("row budget changed: %d -> %d", m.RowBudget(), got.RowBudget())
+			}
+			if got.String() != m.String() {
+				t.Error("rendering differs after round trip")
+			}
+			// Deterministic: re-encoding the decoded matrix is byte-identical.
+			if !bytes.Equal(got.AppendBinary(nil), enc) {
+				t.Error("re-encoding is not byte-identical")
+			}
+		})
+	}
+}
+
+// TestMatrixCodecContinuation: a decoded matrix must behave identically
+// under further accumulation, including budget-driven eviction order.
+func TestMatrixCodecContinuation(t *testing.T) {
+	orig := randomMatrix(t, 32, true, 4, 7)
+	enc := orig.AppendBinary(nil)
+	restored, _, err := DecodeMatrix(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 2000; k++ {
+		i, j, w := rng.Intn(32), rng.Intn(32), uint64(1+rng.Intn(50))
+		orig.Add(i, j, w)
+		restored.Add(i, j, w)
+	}
+	if !orig.Equal(restored) {
+		t.Fatal("restored matrix diverged under continued accumulation")
+	}
+	if orig.String() != restored.String() {
+		t.Fatal("restored matrix renders differently after continuation")
+	}
+}
+
+func TestMatrixCodecRejectsDamage(t *testing.T) {
+	m := randomMatrix(t, 16, false, 0, 3)
+	enc := m.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": enc[:len(enc)-5],
+		"short-hdr": enc[:10],
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeMatrix(data); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+	// Out-of-order cells: swap two cell triples.
+	if m.NNZ() >= 2 {
+		bad := append([]byte(nil), enc...)
+		base := 4 + 1 + 4 + 8
+		cell0 := bad[base : base+16]
+		cell1 := bad[base+16 : base+32]
+		tmp := append([]byte(nil), cell0...)
+		copy(cell0, cell1)
+		copy(cell1, tmp)
+		if _, _, err := DecodeMatrix(bad); err == nil {
+			t.Error("decode accepted out-of-order cells")
+		}
+	}
+}
+
+func TestOptionalMatrixCodec(t *testing.T) {
+	enc := AppendOptionalMatrix(nil, nil)
+	m, rest, err := DecodeOptionalMatrix(enc)
+	if err != nil || m != nil || len(rest) != 0 {
+		t.Fatalf("nil round trip: m=%v rest=%d err=%v", m, len(rest), err)
+	}
+	orig := randomMatrix(t, 8, false, 0, 1)
+	enc = AppendOptionalMatrix(nil, orig)
+	m, rest, err = DecodeOptionalMatrix(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("non-nil round trip: rest=%d err=%v", len(rest), err)
+	}
+	if !m.Equal(orig) {
+		t.Fatal("optional matrix round trip differs")
+	}
+	if _, _, err := DecodeOptionalMatrix([]byte{7}); err == nil {
+		t.Error("bad presence byte accepted")
+	}
+}

@@ -43,6 +43,22 @@ type Options struct {
 	QueryEvery int
 	// Seed derives every connection's deterministic sample stream.
 	Seed int64
+	// Retries is how many additional connect attempts each connection
+	// makes after a failed dial (default 3 with Reconnect set, else 0),
+	// with exponential backoff jittered from the connection's seeded rng —
+	// a reconnecting herd spreads out deterministically.
+	Retries int
+	// Backoff is the base delay before the first retry (default 5ms);
+	// attempt k waits Backoff·2^k scaled by a jitter factor in [0.5, 1.5).
+	Backoff time.Duration
+	// Reconnect makes every connection sequenced — HELLO carries a source
+	// name, E lines carry batch numbers — and injects one deliberate
+	// mid-conversation disconnect at a seeded random batch (sometimes
+	// after the batch was written but before its ack was read: the
+	// lost-ack case). The connection re-dials with backoff, re-HELLOs,
+	// reads the server's acknowledged sequence and resumes, so the run
+	// finishes with every event applied exactly once.
+	Reconnect bool
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +84,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 5 * time.Millisecond
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Reconnect && o.Retries == 0 {
+		o.Retries = 3
 	}
 	return o
 }
@@ -154,20 +179,86 @@ func Run(o Options) (Report, error) {
 	return r, nil
 }
 
+// dialBackoff dials with up to Retries additional attempts, sleeping an
+// exponentially growing, rng-jittered delay between them. The jitter comes
+// from the connection's own seeded stream, so a herd of clients hitting a
+// restarting daemon spreads out — and the same seed reproduces the spread.
+func dialBackoff(o Options, rng *rand.Rand) (net.Conn, error) {
+	delay := o.Backoff
+	for attempt := 0; ; attempt++ {
+		conn, err := o.Dial()
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= o.Retries {
+			return nil, fmt.Errorf("loadgen: dial (attempt %d): %w", attempt+1, err)
+		}
+		time.Sleep(time.Duration(float64(delay) * (0.5 + rng.Float64())))
+		delay *= 2
+	}
+}
+
 // drive runs one connection's whole conversation and returns its query
 // latencies and counts. A non-nil error means the conversation ended
-// early (server hangup, IO failure).
+// early (server hangup, IO failure). With Reconnect set the conversation
+// is sequenced and survives — in fact deliberately injects — a dropped
+// connection mid-stream.
 func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64, err error) {
-	conn, err := o.Dial()
-	if err != nil {
-		return nil, 0, 0, 0, err
-	}
-	defer conn.Close()
-	rd := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
 	tenant := fmt.Sprintf("tenant-%03d", i%o.Tenants)
+	source := ""
+	if o.Reconnect {
+		source = fmt.Sprintf("conn-%04d", i)
+	}
 	rng := rand.New(rand.NewSource(runner.SeedN(o.Seed, i, "loadgen")))
 
+	// Generate every batch body up front, before any retry/drop draws, so
+	// the sample stream a connection ships is a function of (Seed, i)
+	// alone — a resumed batch is byte-identical to its first transmission.
+	nbatches := (o.EventsPerConn + o.Batch - 1) / o.Batch
+	bodies := make([]string, nbatches)
+	sizes := make([]int, nbatches)
+	var b strings.Builder
+	sent := 0
+	for bi := range bodies {
+		n := o.Batch
+		if rest := o.EventsPerConn - sent; n > rest {
+			n = rest
+		}
+		b.Reset()
+		for k := 0; k < n; k++ {
+			// Neighbor pattern: thread t's 96-page region starts at
+			// t*64, so it shares 32 pages with thread t+1's region.
+			thread := rng.Intn(o.Threads)
+			page := uint64(thread)*64 + uint64(rng.Intn(96))
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(thread))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatUint(page, 10))
+		}
+		bodies[bi] = b.String()
+		sizes[bi] = n
+		sent += n
+	}
+	// The injected failure point: drop the connection just as batch dropAt
+	// would be shipped. Half the time the batch is written first and the
+	// ack abandoned (the lost-ack case — the server may have applied it),
+	// so resume exercises both the HELLO seq= skip and a clean resend.
+	dropAt, dropAfterWrite := -1, false
+	if o.Reconnect && nbatches > 1 {
+		dropAt = rng.Intn(nbatches)
+		dropAfterWrite = rng.Intn(2) == 0
+	}
+
+	var (
+		conn net.Conn
+		rd   *bufio.Reader
+		w    *bufio.Writer
+	)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
 	roundTrip := func(line string) (string, error) {
 		if _, err := w.WriteString(line); err != nil {
 			return "", err
@@ -184,46 +275,105 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 		}
 		return strings.TrimSuffix(resp, "\n"), nil
 	}
+	// connect (re)dials, re-HELLOs, and returns the server's acknowledged
+	// batch number for this source (always 0 on unsourced sessions).
+	connect := func() (uint64, error) {
+		c, err := dialBackoff(o, rng)
+		if err != nil {
+			return 0, err
+		}
+		if conn != nil {
+			conn.Close()
+		}
+		conn, rd, w = c, bufio.NewReader(c), bufio.NewWriter(c)
+		hello := fmt.Sprintf("HELLO %s %d", tenant, o.Threads)
+		if source != "" {
+			hello += " " + source
+		}
+		resp, err := roundTrip(hello)
+		if err != nil {
+			return 0, err
+		}
+		if source != "" {
+			acked, ok := strings.CutPrefix(resp, "OK seq=")
+			if !ok {
+				return 0, fmt.Errorf("loadgen: HELLO: %s", resp)
+			}
+			return strconv.ParseUint(acked, 10, 64)
+		}
+		if !strings.HasPrefix(resp, "OK") {
+			return 0, fmt.Errorf("loadgen: HELLO: %s", resp)
+		}
+		return 0, nil
+	}
 
-	resp, err := roundTrip(fmt.Sprintf("HELLO %s %d", tenant, o.Threads))
+	acked, err := connect()
 	if err != nil {
 		return lat, events, queries, errs, err
 	}
-	if !strings.HasPrefix(resp, "OK") {
-		return lat, events, queries, errs, fmt.Errorf("loadgen: HELLO: %s", resp)
+	// skipAcked credits batches the server already accepted (a lost ack
+	// followed by a reconnect) and advances past them.
+	bi := 0
+	skipAcked := func(acked uint64) {
+		for uint64(bi) < acked && bi < nbatches {
+			events += uint64(sizes[bi])
+			bi++
+		}
 	}
-
-	var b strings.Builder
-	batches := (o.EventsPerConn + o.Batch - 1) / o.Batch
-	sent := 0
-	for bi := 0; bi < batches; bi++ {
-		n := o.Batch
-		if rest := o.EventsPerConn - sent; n > rest {
-			n = rest
+	skipAcked(acked)
+	retries := 0
+	for bi < nbatches {
+		line := "E" + bodies[bi]
+		if source != "" {
+			line = "E " + strconv.FormatUint(uint64(bi+1), 10) + bodies[bi]
 		}
-		b.Reset()
-		b.WriteString("E")
-		for k := 0; k < n; k++ {
-			// Neighbor pattern: thread t's 96-page region starts at
-			// t*64, so it shares 32 pages with thread t+1's region.
-			thread := rng.Intn(o.Threads)
-			page := uint64(thread)*64 + uint64(rng.Intn(96))
-			b.WriteByte(' ')
-			b.WriteString(strconv.Itoa(thread))
-			b.WriteByte(':')
-			b.WriteString(strconv.FormatUint(page, 10))
+		if bi == dropAt {
+			dropAt = -1
+			if dropAfterWrite {
+				w.WriteString(line)
+				w.WriteByte('\n')
+				w.Flush()
+			}
+			acked, err := connect()
+			if err != nil {
+				return lat, events, queries, errs, err
+			}
+			skipAcked(acked)
+			continue
 		}
-		sent += n
-		resp, err := roundTrip(b.String())
-		if err != nil {
-			return lat, events, queries, errs, err
+		resp, rerr := roundTrip(line)
+		if rerr != nil {
+			if !o.Reconnect {
+				return lat, events, queries, errs, rerr
+			}
+			// The server went away underneath us: reconnect and resume
+			// from whatever it acknowledged.
+			acked, err := connect()
+			if err != nil {
+				return lat, events, queries, errs, err
+			}
+			skipAcked(acked)
+			continue
 		}
 		if strings.HasPrefix(resp, "OK") {
-			events += uint64(n)
+			events += uint64(sizes[bi])
+			retries = 0
 		} else {
 			errs++
+			if source != "" {
+				// A rejected sequenced batch (overload) must be resent —
+				// skipping it would leave a permanent sequence gap.
+				retries++
+				if retries > 64 {
+					return lat, events, queries, errs,
+						fmt.Errorf("loadgen: batch %d rejected %d times: %s", bi+1, retries, resp)
+				}
+				time.Sleep(time.Duration(float64(o.Backoff) * (0.5 + rng.Float64())))
+				continue
+			}
 		}
-		if o.QueryEvery > 0 && (bi+1)%o.QueryEvery == 0 {
+		bi++
+		if o.QueryEvery > 0 && bi%o.QueryEvery == 0 {
 			qStart := time.Now()
 			resp, err := roundTrip("Q")
 			if err != nil {

@@ -1,0 +1,33 @@
+package serve
+
+// prng is the fault injectors' random stream: splitmix64, chosen over
+// math/rand because its entire state is one uint64 — the durability
+// snapshot serializes it, so a recovered tenant replays the exact same
+// loss/storm injection sequence a never-crashed tenant would have
+// produced (the chaos differential asserts byte-identical matrices, and
+// fault injection is part of the applied-order semantics).
+type prng struct {
+	state uint64
+}
+
+func newPrng(seed int64) *prng { return &prng{state: uint64(seed)} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) from the top 53 bits.
+func (p *prng) Float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform-enough value in [0, n). The modulo bias is
+// negligible for the tiny n the injectors use (thread counts, 1-3
+// storm victims) and determinism, not uniformity, is the requirement.
+func (p *prng) Intn(n int) int {
+	return int(p.next() % uint64(n))
+}

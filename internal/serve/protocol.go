@@ -16,10 +16,22 @@ import (
 // Wire protocol: newline-delimited text, one request line -> one response
 // line, pipelining allowed. Responses start with "OK" or "ERR".
 //
-//	HELLO <tenant> <threads>   bind the connection to a tenant (created if
-//	                           absent; idempotent for an equal thread count)
+//	HELLO <tenant> <threads> [source]
+//	                           bind the connection to a tenant (created if
+//	                           absent; idempotent for an equal thread count).
+//	                           With a source name the session is sequenced:
+//	                           the response is "OK seq=<n>", the source's
+//	                           last accepted batch number, so a
+//	                           reconnecting client resumes from n+1.
 //	E <thread>:<page> ...      ingest a batch of TLB samples (page parsed
 //	                           per strconv: decimal or 0x-hex)
+//	E <seq> <thread>:<page> ...
+//	                           sequenced form (required on a sourced
+//	                           session): seq is the client's batch number,
+//	                           starting at 1. A replayed batch answers
+//	                           "OK dup" without re-applying; a skipped
+//	                           number is an ERR and the client must
+//	                           re-HELLO to resync.
 //	Q                          placement query -> "OK <p0,p1,...> conf=<c>
 //	                           remap=<bool> degraded=<bool> reason=<...>"
 //	SNAP                       tenant snapshot -> "OK events=... applied=...
@@ -106,11 +118,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	<-writerDone
 }
 
-// session is the per-connection protocol state: the tenant the connection
-// is bound to, plus reusable parse scratch.
+// session is the per-connection protocol state: the tenant and source the
+// connection is bound to, plus reusable parse scratch.
 type session struct {
 	srv    *Server
 	tenant string
+	source string
 	batch  []Event
 }
 
@@ -123,8 +136,8 @@ func (sess *session) handle(line string) (resp string, quit bool) {
 	}
 	switch fields[0] {
 	case "HELLO":
-		if len(fields) != 3 {
-			return "ERR usage: HELLO <tenant> <threads>", false
+		if len(fields) != 3 && len(fields) != 4 {
+			return "ERR usage: HELLO <tenant> <threads> [source]", false
 		}
 		threads, err := strconv.Atoi(fields[2])
 		if err != nil {
@@ -134,17 +147,38 @@ func (sess *session) handle(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		sess.tenant = fields[1]
+		sess.source = ""
+		if len(fields) == 4 {
+			sess.source = fields[3]
+			seq, err := sess.srv.SourceSeq(sess.tenant, sess.source)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			return "OK seq=" + strconv.FormatUint(seq, 10), false
+		}
 		return "OK", false
 
 	case "E":
 		if sess.tenant == "" {
 			return "ERR HELLO first", false
 		}
-		if len(fields)-1 > MaxBatch {
-			return fmt.Sprintf("ERR batch of %d events exceeds cap %d", len(fields)-1, MaxBatch), false
+		evs := fields[1:]
+		var seq uint64
+		if sess.source != "" {
+			if len(evs) == 0 || strings.Contains(evs[0], ":") {
+				return "ERR sourced session: usage: E <seq> <thread:page> ...", false
+			}
+			var err error
+			if seq, err = strconv.ParseUint(evs[0], 10, 64); err != nil {
+				return fmt.Sprintf("ERR bad batch seq %q", evs[0]), false
+			}
+			evs = evs[1:]
+		}
+		if len(evs) > MaxBatch {
+			return fmt.Sprintf("ERR batch of %d events exceeds cap %d", len(evs), MaxBatch), false
 		}
 		sess.batch = sess.batch[:0]
-		for _, f := range fields[1:] {
+		for _, f := range evs {
 			threadStr, pageStr, ok := strings.Cut(f, ":")
 			if !ok {
 				return fmt.Sprintf("ERR bad event %q (want thread:page)", f), false
@@ -159,7 +193,13 @@ func (sess *session) handle(line string) (resp string, quit bool) {
 			}
 			sess.batch = append(sess.batch, Event{Thread: int32(thread), Page: vm.Page(page)})
 		}
-		if err := sess.srv.Ingest(sess.tenant, sess.batch); err != nil {
+		err := sess.srv.IngestFrom(sess.tenant, sess.source, seq, sess.batch)
+		if errors.Is(err, ErrDuplicateBatch) {
+			// Idempotent retransmit: already applied, acknowledge without
+			// re-applying.
+			return "OK dup", false
+		}
+		if err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return "OK " + strconv.Itoa(len(sess.batch)), false

@@ -128,6 +128,60 @@ func TestProtocolErrors(t *testing.T) {
 	c.expectOK("E 0:1")
 }
 
+// TestProtocolSequencedSession exercises the sourced wire protocol: HELLO
+// with a source name answers the acknowledged sequence, E lines carry batch
+// numbers, retransmits get "OK dup", gaps get ERR, and a reconnecting
+// client resumes exactly where the server says it left off.
+func TestProtocolSequencedSession(t *testing.T) {
+	s := New(Config{})
+	c := dialProto(t, s)
+
+	if resp := c.expectOK("HELLO app 4 src-a"); resp != "OK seq=0" {
+		t.Errorf("fresh sourced HELLO = %q, want \"OK seq=0\"", resp)
+	}
+	// Sourced sessions must number their batches.
+	if resp := c.expectERR("E 0:1"); !strings.Contains(resp, "sourced") {
+		t.Errorf("unnumbered E on sourced session: %q", resp)
+	}
+	c.expectOK("E 1 0:7 1:7")
+	c.expectOK("E 2 2:7")
+	waitApplied(t, s, "app", 3)
+
+	// Retransmits acknowledge without re-applying; skips are refused.
+	if resp := c.expectOK("E 2 2:7"); resp != "OK dup" {
+		t.Errorf("replayed batch = %q, want \"OK dup\"", resp)
+	}
+	if resp := c.expectOK("E 1 0:7 1:7"); resp != "OK dup" {
+		t.Errorf("older replayed batch = %q, want \"OK dup\"", resp)
+	}
+	if resp := c.expectERR("E 4 3:7"); !strings.Contains(resp, "gap") {
+		t.Errorf("skipped seq = %q, want sequence-gap ERR", resp)
+	}
+	snap, err := s.Snapshot("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ingested != 3 || snap.Applied != 3 {
+		t.Errorf("after dup+gap: ingested=%d applied=%d, want 3/3", snap.Ingested, snap.Applied)
+	}
+
+	// A reconnecting client resumes from the acknowledged number.
+	c2 := dialProto(t, s)
+	if resp := c2.expectOK("HELLO app 4 src-a"); resp != "OK seq=2" {
+		t.Errorf("reconnect HELLO = %q, want \"OK seq=2\"", resp)
+	}
+	c2.expectOK("E 3 3:7")
+	waitApplied(t, s, "app", 4)
+
+	// An independent source numbers its own stream from scratch.
+	c3 := dialProto(t, s)
+	if resp := c3.expectOK("HELLO app 4 src-b"); resp != "OK seq=0" {
+		t.Errorf("second source HELLO = %q, want \"OK seq=0\"", resp)
+	}
+	c3.expectOK("E 1 0:9")
+	waitApplied(t, s, "app", 5)
+}
+
 func TestProtocolIdempotentHello(t *testing.T) {
 	s := New(Config{})
 	c1 := dialProto(t, s)

@@ -23,9 +23,12 @@ package serve
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"tlbmap/internal/mapping"
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/vm"
+	"tlbmap/internal/wal"
 )
 
 // Service errors. The wire protocol maps each to a one-line ERR response;
@@ -59,6 +63,16 @@ var (
 	// ErrBadEvent is returned for an event naming a thread outside the
 	// tenant's range.
 	ErrBadEvent = errors.New("serve: event thread out of range")
+	// ErrDuplicateBatch is returned by IngestFrom for a client sequence
+	// number at or below the source's last accepted one — the idempotent
+	// outcome of a reconnecting client resending an already-acknowledged
+	// (or already-applied-but-unacknowledged) batch. The batch was NOT
+	// applied again; callers treat this as success.
+	ErrDuplicateBatch = errors.New("serve: duplicate batch")
+	// ErrSequenceGap is returned by IngestFrom when a source skips ahead:
+	// accepting the batch would silently lose the gap, so the client must
+	// resync (re-HELLO and resume from the acknowledged sequence).
+	ErrSequenceGap = errors.New("serve: batch sequence gap")
 )
 
 // Event is one TLB-sample: the tenant's thread touched (and, if it was not
@@ -116,6 +130,23 @@ type Config struct {
 	// WriteTimeout bounds one response write on a connection
 	// (default 5s).
 	WriteTimeout time.Duration
+
+	// Dir, when non-empty, makes every tenant durable: accepted batches
+	// are written to a per-tenant write-ahead log before they are
+	// acknowledged, periodic snapshots allow log compaction, and Open
+	// recovers all tenant state from this directory on startup. Empty
+	// (the default) keeps the server purely in-memory.
+	Dir string
+	// Sync is the WAL sync policy (default wal.SyncAlways: an
+	// acknowledged batch is durable). Only meaningful with Dir set.
+	Sync wal.SyncPolicy
+	// WALSegmentBytes is the per-tenant WAL segment rotation threshold
+	// (default 1 MiB; see wal.Options.SegmentBytes).
+	WALSegmentBytes int
+	// SnapshotEvery is the snapshot cadence in applied events per tenant
+	// (default 4096): after that many events a snapshot is written and
+	// the WAL compacted. Only meaningful with Dir set.
+	SnapshotEvery int
 }
 
 // withDefaults resolves the zero values.
@@ -146,6 +177,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 5 * time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
 	}
 	return c
 }
@@ -185,7 +219,9 @@ type Server struct {
 	overloads atomic.Uint64
 }
 
-// New builds a Server from the config (zero value = all defaults).
+// New builds a Server from the config (zero value = all defaults). With
+// Config.Dir set, tenants created on this server are durable, but
+// pre-existing on-disk tenants are NOT loaded — use Open for that.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
@@ -193,6 +229,46 @@ func New(cfg Config) *Server {
 		s.shards[i] = &shard{tenants: make(map[string]*tenant)}
 	}
 	return s
+}
+
+// Open builds a Server and, when Config.Dir is set, recovers every tenant
+// found there: snapshot plus WAL tail, with torn or corrupted tails
+// truncated at the first bad record rather than failing startup. This is
+// the daemon's entry point; New is the in-memory one.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if s.cfg.Dir == "" {
+		return s, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(s.cfg.Dir, "tenants"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("serve: open %s: %w", s.cfg.Dir, err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		raw, err := hex.DecodeString(ent.Name())
+		if err != nil {
+			continue // not a tenant directory
+		}
+		id := string(raw)
+		meta, err := wal.ReadBlob(filepath.Join(s.cfg.Dir, "tenants", ent.Name(), "meta"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: recover tenant %q: %w", id, err)
+		}
+		metaID, threads, err := decodeMeta(meta)
+		if err != nil || metaID != id {
+			return nil, fmt.Errorf("serve: recover tenant %q: bad meta (id %q, err %v)", id, metaID, err)
+		}
+		if err := s.CreateTenant(id, threads); err != nil {
+			return nil, fmt.Errorf("serve: recover tenant %q: %w", id, err)
+		}
+	}
+	return s, nil
 }
 
 // shardFor stripes a tenant ID over the shard array by FNV-32a.
@@ -239,7 +315,10 @@ func (s *Server) CreateTenant(id string, threads int) error {
 		return fmt.Errorf("%w: %q has %d threads, requested %d",
 			ErrTenantExists, id, existing.threads, threads)
 	}
-	t := newTenant(id, threads, s.cfg)
+	t, err := newTenant(id, threads, s.cfg)
+	if err != nil {
+		return err
+	}
 	sh.tenants[id] = t
 	s.wg.Add(1)
 	go func() {
@@ -252,7 +331,9 @@ func (s *Server) CreateTenant(id string, threads int) error {
 // EvictTenant removes a tenant and releases its resources: the applier
 // exits (discarding whatever is still queued) before EvictTenant returns,
 // so shard map size and goroutine count go back to baseline. In-flight
-// Ingest calls on the evicted tenant fail with ErrTenantNotFound.
+// Ingest calls on the evicted tenant fail with ErrTenantNotFound. On a
+// durable server eviction is total: the tenant's directory — WAL,
+// snapshot, meta — is deleted, so a later Open will not resurrect it.
 func (s *Server) EvictTenant(id string) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -264,6 +345,12 @@ func (s *Server) EvictTenant(id string) error {
 	}
 	t.shutdown()
 	<-t.done
+	if t.wlog != nil {
+		t.wlog.Close()
+		if err := os.RemoveAll(t.dir); err != nil {
+			return fmt.Errorf("serve: evict %q: %w", id, err)
+		}
+	}
 	return nil
 }
 
@@ -273,6 +360,18 @@ func (s *Server) EvictTenant(id string) error {
 // rejected with ErrOverloaded and counted as dropped — a slow tenant can
 // never grow its queue past its cap.
 func (s *Server) Ingest(tenantID string, events []Event) error {
+	return s.IngestFrom(tenantID, "", 0, events)
+}
+
+// IngestFrom is Ingest with an idempotence key: source names the client
+// stream and seq is its batch sequence number, starting at 1 and
+// incremented per accepted batch. A seq at or below the source's last
+// accepted one returns ErrDuplicateBatch WITHOUT re-applying — the safe
+// outcome when a client retries a batch whose ack was lost — and a seq
+// that skips ahead returns ErrSequenceGap. On a durable server the batch
+// is appended to the tenant's WAL before the call returns, so (under
+// wal.SyncAlways) an acknowledged batch survives a crash.
+func (s *Server) IngestFrom(tenantID, source string, seq uint64, events []Event) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
@@ -292,26 +391,107 @@ func (s *Server) Ingest(tenantID string, events []Event) error {
 				ErrBadEvent, e.Thread, tenantID, t.threads-1)
 		}
 	}
-	batch := append([]Event(nil), events...)
+	b := batch{events: append([]Event(nil), events...), source: source, srcSeq: seq}
+	if t.wlog == nil && source == "" {
+		// In-memory anonymous path: no ordering obligations beyond the
+		// queue itself, so skip the ingest lock entirely.
+		return s.enqueue(t, b)
+	}
+
+	// Durable/sourced path. ingestMu makes dedup-check → enqueue → WAL
+	// append one atomic step, so WAL order == enqueue order == applied
+	// order and the recovery replay reconstructs exactly what the applier
+	// saw. The WAL append happens after the enqueue: a batch rejected for
+	// overload must leave no trace in the log (recovery must not replay
+	// what the client was told to resend), and the window where a batch
+	// is applied before its record lands is closed by the snapshot codec
+	// serializing the applied-side dedup map.
+	t.ingestMu.Lock()
+	defer t.ingestMu.Unlock()
+	if source != "" {
+		last := t.sources[source]
+		if seq <= last {
+			return fmt.Errorf("%w: %q seq %d already accepted (at %d)", ErrDuplicateBatch, source, seq, last)
+		}
+		if seq != last+1 {
+			return fmt.Errorf("%w: %q seq %d after %d", ErrSequenceGap, source, seq, last)
+		}
+	}
+	if t.wlog != nil {
+		b.seq = t.wlog.NextSeq()
+	}
+	if err := s.enqueue(t, b); err != nil {
+		return err
+	}
+	if t.wlog != nil {
+		got, werr := t.wlog.Append(appendWALRecord(nil, source, seq, b.events))
+		if werr != nil || got != b.seq {
+			if werr == nil {
+				werr = fmt.Errorf("serve: wal seq skew: appended %d, reserved %d", got, b.seq)
+			}
+			// The batch is already queued but cannot be made durable:
+			// continuing would acknowledge writes a restart forgets.
+			// Fail stop for this tenant.
+			t.quarantineErr(werr)
+			return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, werr)
+		}
+	}
+	if source != "" {
+		t.sources[source] = seq
+	}
+	return nil
+}
+
+// enqueue is the bounded-queue admission step shared by both ingest
+// paths: immediate send, then one EnqueueWait-bounded retry, then
+// ErrOverloaded.
+func (s *Server) enqueue(t *tenant, b batch) error {
+	n := uint64(len(b.events))
 	select {
-	case t.queue <- batch:
-		t.ingested.Add(uint64(len(batch)))
+	case t.queue <- b:
+		t.ingested.Add(n)
 		return nil
 	default:
 	}
 	timer := time.NewTimer(s.cfg.EnqueueWait)
 	defer timer.Stop()
 	select {
-	case t.queue <- batch:
-		t.ingested.Add(uint64(len(batch)))
+	case t.queue <- b:
+		t.ingested.Add(n)
 		return nil
 	case <-t.done:
-		return fmt.Errorf("%w: %q evicted mid-stream", ErrTenantNotFound, tenantID)
+		return fmt.Errorf("%w: %q evicted mid-stream", ErrTenantNotFound, t.id)
 	case <-timer.C:
-		t.rejected.Add(uint64(len(batch)))
+		t.rejected.Add(n)
 		s.overloads.Add(1)
-		return fmt.Errorf("%w: tenant %q (cap %d batches)", ErrOverloaded, tenantID, s.cfg.QueueCap)
+		return fmt.Errorf("%w: tenant %q (cap %d batches)", ErrOverloaded, t.id, s.cfg.QueueCap)
 	}
+}
+
+// SourceSeq returns the last accepted batch sequence number for a source
+// of a tenant (0 when the source is unknown). Reconnecting clients read
+// it from the HELLO response and resume from the next one.
+func (s *Server) SourceSeq(tenantID, source string) (uint64, error) {
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return 0, err
+	}
+	t.ingestMu.Lock()
+	defer t.ingestMu.Unlock()
+	return t.sources[source], nil
+}
+
+// Checkpoint forces a durability snapshot of one tenant right now,
+// compacting its WAL. A no-op (nil) on a non-durable server.
+func (s *Server) Checkpoint(tenantID string) error {
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return err
+	}
+	if pe := t.quarantine.Load(); pe != nil {
+		return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, pe.Value)
+	}
+	return t.checkpoint()
 }
 
 // Snapshot returns a deep copy of a tenant's communication matrix plus its
@@ -371,8 +551,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // tenant creation, lets every applier finish what is already queued, and
 // waits for them to exit. Tenant state stays resident — queries and
 // snapshots still work after a drain, which is what lets the daemon answer
-// "what did you learn" before the process exits. Returns ctx.Err() if the
-// context expires first (appliers keep draining in the background).
+// "what did you learn" before the process exits. On a durable server each
+// drained tenant is finalized: a last snapshot covering everything
+// applied, a WAL sync, and a clean close, so the next Open resumes with
+// an empty replay. Returns ctx.Err() if the context expires first
+// (appliers keep draining in the background, but tenants are then NOT
+// finalized — the WAL still covers them).
 func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
@@ -392,8 +576,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, t := range sh.tenants {
+			if err := t.finalize(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return errors.Join(errs...)
 }

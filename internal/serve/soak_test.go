@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -97,7 +98,10 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 			t.Fatalf("%s: applied log has %d events, want %d", id, len(log), want)
 		}
 		// Single-threaded replay of the applied order.
-		replay := newTenant(id, threadsPer, rcfg)
+		replay, err := newTenant(id, threadsPer, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, e := range log {
 			replay.applyOne(e)
 		}
@@ -110,6 +114,77 @@ func TestConcurrentIngestMatchesReplay(t *testing.T) {
 		if err := live.presence.Validate(); err != nil {
 			t.Errorf("%s: presence index invalid after soak: %v", id, err)
 		}
+	}
+}
+
+// TestLoadgenReconnectResume drives a sequenced fleet where every
+// connection deliberately drops mid-conversation (half of them after
+// writing a batch whose ack is then lost) and every third dial attempt
+// fails, forcing the seeded backoff path. The run must still finish with
+// every event applied exactly once: resume-from-acknowledged-sequence plus
+// "OK dup" retransmit handling make the disconnects invisible to the
+// counters.
+func TestLoadgenReconnectResume(t *testing.T) {
+	const (
+		conns         = 64
+		eventsPerConn = 400
+	)
+	s := New(Config{Shards: 8, QueueCap: 512})
+	var wg sync.WaitGroup
+	var dials atomic.Uint64
+	dial := func() (net.Conn, error) {
+		if dials.Add(1)%3 == 0 {
+			return nil, fmt.Errorf("synthetic dial failure")
+		}
+		client, server := net.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.ServeConn(server)
+		}()
+		return client, nil
+	}
+
+	report, err := loadgen.Run(loadgen.Options{
+		Dial:          dial,
+		Conns:         conns,
+		Tenants:       8,
+		Threads:       8,
+		EventsPerConn: eventsPerConn,
+		Batch:         25,
+		QueryEvery:    4,
+		Seed:          99,
+		Reconnect:     true,
+		Retries:       6,
+		Backoff:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reconnect fleet: %s", report)
+	if report.HangUps != 0 {
+		t.Errorf("%d connections failed to finish", report.HangUps)
+	}
+	if report.Errors != 0 {
+		t.Errorf("%d ERR responses", report.Errors)
+	}
+	if want := uint64(conns * eventsPerConn); report.Events != want {
+		t.Errorf("acknowledged %d events, want %d", report.Events, want)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if want := uint64(conns * eventsPerConn); st.Applied != want {
+		t.Errorf("server applied %d events, want exactly %d (no double-apply)", st.Applied, want)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("server dropped %d events", st.Dropped)
+	}
+	if st.Applied+st.Dropped != st.Ingested {
+		t.Errorf("unclean books: ingested=%d applied=%d dropped=%d", st.Ingested, st.Applied, st.Dropped)
 	}
 }
 

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -14,6 +13,7 @@ import (
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/topology"
 	"tlbmap/internal/vm"
+	"tlbmap/internal/wal"
 )
 
 // stormPerEvent is the per-event storm probability at ShootdownStorm
@@ -21,6 +21,18 @@ import (
 // the rate is denser than the engine's per-trace-event rate: at full
 // intensity roughly one storm per 100 ingested samples.
 const stormPerEvent = 1e-2
+
+// batch is the unit the applier consumes: the events plus the identity
+// the durability layer needs to make recovery exact. seq is the WAL
+// sequence number reserved for the batch (0 on a non-durable server);
+// source/srcSeq carry the client's idempotence key so the applier can
+// maintain the applied-side dedup map that snapshots serialize.
+type batch struct {
+	events []Event
+	seq    uint64
+	source string
+	srcSeq uint64
+}
 
 // tenant is one client application's detector state: per-thread TLBs
 // behind a presence index accumulating into a communication matrix, plus
@@ -32,7 +44,7 @@ type tenant struct {
 	threads int
 	record  bool
 
-	queue chan []Event
+	queue chan batch
 	stop  chan struct{} // closed once by shutdown(); applier exits
 	done  chan struct{} // closed by the applier on exit
 	drain atomic.Bool   // true: on stop, apply what is queued before exiting
@@ -43,6 +55,18 @@ type tenant struct {
 	// quarantined tenant serves nothing until evicted.
 	quarantine atomic.Pointer[runner.PanicError]
 
+	// Durability (all nil/zero on a non-durable server). ingestMu
+	// serializes the durable ingest path so WAL order == enqueue order ==
+	// applied order; sources is the ingest-side dedup map (last accepted
+	// client seq per source), consulted and updated under ingestMu.
+	dir       string
+	wlog      *wal.Log
+	snapEvery uint64
+	ingestMu  sync.Mutex
+	sources   map[string]uint64
+	snapMu    sync.Mutex    // serializes checkpoint encode+write+compact
+	sinceSnap atomic.Uint64 // events applied since the last snapshot
+
 	mu       sync.Mutex // guards everything below
 	tlbs     []*tlb.TLB
 	presence *tlb.PresenceIndex
@@ -51,6 +75,15 @@ type tenant struct {
 	online   *mapping.OnlineMapper
 	lastSnap *comm.Matrix // matrix snapshot at the previous query epoch
 	log      []Event      // applied-order event log (Config.RecordApplied)
+	// appliedSeq is the WAL seq of the last fully applied batch and
+	// appliedSources the applied-side view of the dedup map. They are
+	// updated together with the state they describe (same mu critical
+	// section), so a snapshot is always consistent: if it contains a
+	// batch's effects it also records that batch as applied — a client
+	// retrying an unacked batch after recovery is correctly deduplicated
+	// instead of double-applied.
+	appliedSeq     uint64
+	appliedSources map[string]uint64
 
 	// lastPlacement is the placement most recently put in force by a
 	// completed query — the deadline fallback. Readable without mu so a
@@ -64,10 +97,11 @@ type tenant struct {
 	lost     atomic.Uint64
 	storms   atomic.Uint64
 
-	// fault injection (nil rng = scenario disarmed).
+	// fault injection (nil rng = scenario disarmed). The prng state is
+	// serialized in snapshots so recovered injection replays exactly.
 	plan     fault.Plan
-	lossRng  *rand.Rand
-	stormRng *rand.Rand
+	lossRng  *prng
+	stormRng *prng
 
 	// applyHook, when non-nil, observes every event just before it is
 	// applied. Test-only: fault tests use it to detonate panics inside
@@ -99,22 +133,28 @@ type TenantSnapshot struct {
 
 // newTenant builds the tenant's detector and mapper state and derives its
 // fault RNG streams (per-tenant, per-scenario, from the plan seed — one
-// tenant's injections never perturb another's).
-func newTenant(id string, threads int, cfg Config) *tenant {
+// tenant's injections never perturb another's). With Config.Dir set it
+// also opens the tenant's durable state — snapshot, WAL tail replay —
+// so a freshly created tenant resumes exactly where a crashed or drained
+// predecessor of the same id left off.
+func newTenant(id string, threads int, cfg Config) (*tenant, error) {
 	machine := machineFor(threads)
 	t := &tenant{
-		id:       id,
-		threads:  threads,
-		record:   cfg.RecordApplied,
-		queue:    make(chan []Event, cfg.QueueCap),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		tlbs:     make([]*tlb.TLB, threads),
-		presence: tlb.NewPresenceIndex(threads),
-		matrix:   comm.NewMatrix(threads),
-		machine:  machine,
-		online:   mapping.NewOnlineMapper(machine, 0),
-		plan:     cfg.Faults,
+		id:             id,
+		threads:        threads,
+		record:         cfg.RecordApplied,
+		queue:          make(chan batch, cfg.QueueCap),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		tlbs:           make([]*tlb.TLB, threads),
+		presence:       tlb.NewPresenceIndex(threads),
+		matrix:         comm.NewMatrix(threads),
+		machine:        machine,
+		online:         mapping.NewOnlineMapper(machine, 0),
+		plan:           cfg.Faults,
+		sources:        make(map[string]uint64),
+		appliedSources: make(map[string]uint64),
+		snapEvery:      uint64(cfg.SnapshotEvery),
 	}
 	for i := range t.tlbs {
 		t.tlbs[i] = tlb.New(cfg.TLB)
@@ -128,12 +168,17 @@ func newTenant(id string, threads int, cfg Config) *tenant {
 	t.online.SetAlgorithm(cfg.Mapper)
 	t.lastPlacement.Store(t.online.Placement())
 	if r := cfg.Faults.Intensity[fault.SampleLoss]; r > 0 {
-		t.lossRng = rand.New(rand.NewSource(runner.Seed(seedOf(cfg.Faults), "serve", id, fault.SampleLoss.String())))
+		t.lossRng = newPrng(runner.Seed(seedOf(cfg.Faults), "serve", id, fault.SampleLoss.String()))
 	}
 	if r := cfg.Faults.Intensity[fault.ShootdownStorm]; r > 0 {
-		t.stormRng = rand.New(rand.NewSource(runner.Seed(seedOf(cfg.Faults), "serve", id, fault.ShootdownStorm.String())))
+		t.stormRng = newPrng(runner.Seed(seedOf(cfg.Faults), "serve", id, fault.ShootdownStorm.String()))
 	}
-	return t
+	if cfg.Dir != "" {
+		if err := t.openDurable(cfg); err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %w", id, err)
+		}
+	}
+	return t, nil
 }
 
 // seedOf mirrors fault.New's convention: a zero plan seed means 1, so an
@@ -166,13 +211,16 @@ func (t *tenant) shutdown() { t.once.Do(func() { close(t.stop) }) }
 
 // run is the applier: it drains the bounded queue, serializing all
 // detector-state mutation for this tenant. On stop it either discards
-// (evict) or finishes (drain) whatever is queued, then exits.
+// (evict) or finishes (drain) whatever is queued, then exits. The WAL is
+// not closed here — eviction, drain finalization and the chaos tests'
+// crash simulation each end its life differently.
 func (t *tenant) run() {
 	defer close(t.done)
 	for {
 		select {
 		case b := <-t.queue:
 			t.applyBatch(b)
+			t.maybeCheckpoint()
 		case <-t.stop:
 			for {
 				select {
@@ -180,7 +228,7 @@ func (t *tenant) run() {
 					if t.drain.Load() {
 						t.applyBatch(b)
 					} else {
-						t.dropped.Add(uint64(len(b)))
+						t.dropped.Add(uint64(len(b.events)))
 					}
 				default:
 					return
@@ -195,9 +243,9 @@ func (t *tenant) run() {
 // retained, the remaining events of the batch are dropped, and sibling
 // tenants (including ones on the same shard) are untouched because all
 // state here is tenant-local.
-func (t *tenant) applyBatch(b []Event) {
+func (t *tenant) applyBatch(b batch) {
 	if t.quarantine.Load() != nil {
-		t.dropped.Add(uint64(len(b)))
+		t.dropped.Add(uint64(len(b.events)))
 		return
 	}
 	t.mu.Lock()
@@ -206,10 +254,10 @@ func (t *tenant) applyBatch(b []Event) {
 	defer func() {
 		if r := recover(); r != nil {
 			t.quarantine.Store(&runner.PanicError{Value: r, Stack: debug.Stack()})
-			t.dropped.Add(uint64(len(b) - applied))
+			t.dropped.Add(uint64(len(b.events) - applied))
 		}
 	}()
-	for _, e := range b {
+	for _, e := range b.events {
 		if t.applyHook != nil {
 			t.applyHook(e)
 		}
@@ -220,6 +268,16 @@ func (t *tenant) applyBatch(b []Event) {
 			t.log = append(t.log, e)
 		}
 	}
+	// Only a fully applied batch advances the durable bookkeeping; a
+	// panic above leaves it at the previous batch, and the tenant is
+	// quarantined anyway.
+	if b.seq != 0 {
+		t.appliedSeq = b.seq
+	}
+	if b.source != "" {
+		t.appliedSources[b.source] = b.srcSeq
+	}
+	t.sinceSnap.Add(uint64(applied))
 }
 
 // applyOne is the SM detection step of Figure 1a, one sample at a time:
