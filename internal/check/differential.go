@@ -71,6 +71,15 @@ type DiffConfig struct {
 	// proving faults perturb detection fidelity only, never
 	// architectural state.
 	Faults fault.Plan
+	// Compiled replays the workload through trace.Compile instead of the
+	// live goroutine team. Equal configs must produce bit-identical
+	// Results either way; the equivalence tests cross the two paths.
+	Compiled bool
+	// ShardWorkers > 1 enables deterministic intra-run sharding
+	// (sim.Config.ShardWorkers) with a small window so even short
+	// differential runs cross several shard barriers. Results must be
+	// bit-identical at every worker count.
+	ShardWorkers int
 }
 
 // DiffReport carries the outcome of one differential run.
@@ -142,7 +151,20 @@ func Differential(cfg DiffConfig) (*DiffReport, error) {
 		}
 	}
 
-	res, err := sim.Run(simCfg, as, team)
+	simCfg.ShardWorkers = cfg.ShardWorkers
+	if cfg.ShardWorkers > 1 {
+		// Small quantum-epoch so even a few hundred thousand cycles of
+		// simulated time cross many shard barriers.
+		simCfg.ShardWindow = 8192
+	}
+
+	var res *sim.Result
+	var err error
+	if cfg.Compiled {
+		res, err = sim.RunSource(simCfg, as, trace.Compile(team).NewSource())
+	} else {
+		res, err = sim.Run(simCfg, as, team)
+	}
 	rep := &DiffReport{
 		Pattern:    cfg.Pattern,
 		Seed:       cfg.Seed,

@@ -46,6 +46,23 @@ type Detector interface {
 	Searches() uint64
 }
 
+// NeverScans is an optional capability marker: a detector implementing it
+// declares that MaybeScan always returns 0 and has no side effects, so the
+// engine may elide the per-event MaybeScan dispatch entirely. Wrappers
+// that forward to unknown children (Multi, Epoch, the fault layer) must
+// NOT implement it — the engine assumes the conservative hook set for any
+// detector without the marker.
+type NeverScans interface {
+	DetectorNeverScans()
+}
+
+// IgnoresAccesses is the OnAccess counterpart of NeverScans: detectors
+// implementing it declare OnAccess a side-effect-free no-op, letting the
+// engine skip one dynamic dispatch per simulated access.
+type IgnoresAccesses interface {
+	DetectorIgnoresAccesses()
+}
+
 // NullDetector detects nothing; it is the detector used for plain
 // performance runs (Figures 6-9) where detection is switched off.
 type NullDetector struct{}
@@ -111,6 +128,12 @@ func (d *SMDetector) Name() string { return "SM" }
 
 // OnAccess implements Detector (no per-access work for SM).
 func (d *SMDetector) OnAccess(int, vm.Addr) {}
+
+// DetectorNeverScans marks MaybeScan as a no-op (SM detects on misses).
+func (d *SMDetector) DetectorNeverScans() {}
+
+// DetectorIgnoresAccesses marks OnAccess as a no-op.
+func (d *SMDetector) DetectorIgnoresAccesses() {}
 
 // OnTLBMiss implements the Figure 1a flowchart: compare the per-core
 // counter against the threshold; below it, just increment and return.
@@ -201,7 +224,24 @@ type HMDetector struct {
 	binding indexBinding
 	holders []int32
 	indexed uint64
+
+	// pairBuf batches scan pair counts in a dense n×n scratch, folded into
+	// the matrix only when Matrix() is read. On manycore machines the
+	// per-page holder sets overlap heavily, so the same pairs recur across
+	// pages and across scans; routing every one through the sparse matrix
+	// costs two map writes each and dominates the run. The scratch turns
+	// them into array adds and defers the map writes to the (rare) reads.
+	// Every reader and mutator goes through Matrix(), so the fold lands
+	// exactly the additions an unbuffered scan would have applied by that
+	// point, and addition commutes — the observable matrix is identical.
+	pairBuf []uint64
+	pending bool
 }
+
+// maxPairScratch bounds the cores for which the scan keeps a dense n²
+// scratch (512 cores = 2 MiB). Beyond it — where the sparse matrix exists
+// precisely to avoid n² memory — pairs go straight to the matrix.
+const maxPairScratch = 512
 
 // NewHMDetector builds an HM detector for n threads scanning every interval
 // cycles (the paper uses 10,000,000 on runs lasting billions of cycles; use
@@ -218,6 +258,9 @@ func (d *HMDetector) Name() string { return "HM" }
 
 // OnAccess implements Detector (no per-access work for HM).
 func (d *HMDetector) OnAccess(int, vm.Addr) {}
+
+// DetectorIgnoresAccesses marks OnAccess as a no-op.
+func (d *HMDetector) DetectorIgnoresAccesses() {}
 
 // OnTLBMiss implements Detector (HM cannot observe TLB misses).
 func (d *HMDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
@@ -297,6 +340,13 @@ func (d *HMDetector) indexedScan() {
 		d.holders = make([]int32, len(threadOf))
 	}
 	holders := d.holders[:cap(d.holders)]
+	n := d.matrix.N()
+	// The top-k sketch trims rows as they grow, so its content depends on
+	// the order of additions; only the exact matrix may batch.
+	buffered := n <= maxPairScratch && d.matrix.RowBudget() == 0
+	if buffered && len(d.pairBuf) < n*n {
+		d.pairBuf = make([]uint64, n*n)
+	}
 	d.binding.ix.Walk(func(mask []uint64, count int) {
 		cnt := 0
 		for w, word := range mask {
@@ -314,12 +364,43 @@ func (d *HMDetector) indexedScan() {
 			return
 		}
 		c := uint64(count)
+		if buffered {
+			d.pending = true
+			for a := 0; a < cnt-1; a++ {
+				i := int(holders[a])
+				for b := a + 1; b < cnt; b++ {
+					j := int(holders[b])
+					if j < i {
+						d.pairBuf[j*n+i] += c
+					} else {
+						d.pairBuf[i*n+j] += c
+					}
+				}
+			}
+			return
+		}
 		for a := 0; a < cnt-1; a++ {
 			for b := a + 1; b < cnt; b++ {
 				d.matrix.Add(int(holders[a]), int(holders[b]), c)
 			}
 		}
 	})
+}
+
+// flushPairs folds the buffered scan counts into the matrix, in
+// deterministic upper-triangle order, and re-zeroes the scratch.
+func (d *HMDetector) flushPairs() {
+	d.pending = false
+	n := d.matrix.N()
+	for i := 0; i < n-1; i++ {
+		row := d.pairBuf[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			if w := row[j]; w != 0 {
+				d.matrix.Add(i, j, w)
+				row[j] = 0
+			}
+		}
+	}
 }
 
 // UsePresenceIndex implements PresenceIndexUser.
@@ -330,7 +411,12 @@ func (d *HMDetector) UsePresenceIndex(ix *tlb.PresenceIndex) { d.binding.use(ix)
 func (d *HMDetector) IndexedScans() uint64 { return d.indexed }
 
 // Matrix implements Detector.
-func (d *HMDetector) Matrix() *Matrix { return d.matrix }
+func (d *HMDetector) Matrix() *Matrix {
+	if d.pending {
+		d.flushPairs()
+	}
+	return d.matrix
+}
 
 // Searches implements Detector.
 func (d *HMDetector) Searches() uint64 { return d.searches }
@@ -480,6 +566,10 @@ func (d *OracleDetector) OnTLBMiss(int, vm.Page, TLBView) uint64 { return 0 }
 
 // MaybeScan implements Detector.
 func (d *OracleDetector) MaybeScan(uint64, TLBView) uint64 { return 0 }
+
+// DetectorNeverScans marks MaybeScan as a no-op (the oracle sees every
+// access directly).
+func (d *OracleDetector) DetectorNeverScans() {}
 
 // Matrix implements Detector.
 func (d *OracleDetector) Matrix() *Matrix { return d.matrix }

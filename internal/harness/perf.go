@@ -167,6 +167,9 @@ func RunPerformance(cfg Config) ([]PerfResult, error) {
 		if err != nil {
 			return repMetrics{}, err
 		}
+		// Compile the per-job workload once and replay it under all three
+		// placements: same trace, no per-placement team respawn.
+		cw := core.CompileWorkload(wr, cfg.Options)
 		opt := cfg.Options
 		opt.JitterSeed = cfg.jobSeed(p.name, "jitter", rep)
 		osPlace, err := mapping.NewOSScheduler(cfg.jobSeed(p.name, "os", rep)).Map(p.smMatrix, machine)
@@ -183,7 +186,7 @@ func RunPerformance(cfg Config) ([]PerfResult, error) {
 			{SMLabel, p.result.PlacementSM, &out.sm},
 			{HMLabel, p.result.PlacementHM, &out.hm},
 		} {
-			m, err := core.EvaluateMetrics(wr, run.place, opt)
+			m, err := cw.EvaluateMetrics(run.place, opt)
 			if err != nil {
 				return repMetrics{}, fmt.Errorf("harness: %s/%s rep %d: %w", p.name, run.label, rep, err)
 			}

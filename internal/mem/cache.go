@@ -85,19 +85,48 @@ var (
 	DefaultL2Config = CacheConfig{SizeBytes: 6 << 20, Ways: 8, Latency: 8}
 )
 
-// cacheEntry is one way of one set.
-type cacheEntry struct {
-	line  Line
-	state MESIState
-	lru   uint64
+// invalidTag marks an empty way in the way-metadata array. Physical line
+// numbers are bounded far below 2^64 (58 usable bits of physical address),
+// so the all-ones value can never collide with a resident line.
+const invalidTag = ^uint64(0)
+
+// Residency-entry layout: idx[l] packs the resident line's global way
+// index (plus one, so the zero value means "absent") with its MESI state.
+// wayBits caps a cache at 2^27-1 ways — three orders of magnitude above
+// the largest modelled L2 — and leaves the two bits a MESI state needs.
+const (
+	wayBits = 27
+	wayMask = 1<<wayBits - 1
+)
+
+// wayMeta is the per-way replacement metadata: the resident line's number
+// (invalidTag while empty) and its LRU stamp. Victim selection — the only
+// remaining scan in the cache — reads both fields of every way in a set,
+// so they share one array: a 4-way set spans a single host cache line
+// instead of the two that parallel tag/LRU slices would cost per fill.
+type wayMeta struct {
+	tag uint64
+	lru uint64
 }
 
 // Cache is a set-associative cache with per-line MESI state and LRU
 // replacement. It is used for both L1s (which only ever hold lines in
 // Shared state because they are write-through) and L2s.
 //
+// The authoritative structure is a line-indexed residency map: idx[l]
+// packs 1 + the global way index of line l with its MESI state, and holds
+// 0 while the line is absent. Physical frames are allocated densely from
+// zero (see internal/vm), so line numbers are dense and a flat slice works
+// as the map. Every lookup-shaped operation — Lookup, Probe, SetState, the
+// resident-update path of Insert — resolves through idx in O(1), and
+// because the state rides in the same word, a Probe (the snoop path) costs
+// exactly one load. The way arrays remain authoritative for geometry:
+// victim selection on Insert still scans the line's set, which is the only
+// remaining scan in the cache and runs once per fill rather than once per
+// access.
+//
 // Set storage is allocated lazily, one set on its first Insert: building a
-// paper-configuration 6 MiB L2 would otherwise zero ~2.4 MB of entries per
+// paper-configuration 6 MiB L2 would otherwise zero megabytes per
 // simulation run, and short runs touch a small fraction of the sets. The
 // lazy path is invisible to callers — a never-touched set behaves exactly
 // like a set full of Invalid entries.
@@ -107,11 +136,14 @@ type Cache struct {
 	mask  uint64 // nsets-1 when nsets is a power of two
 	pow2  bool
 	ways  int
-	// setBlock[s] is 1 + the block index of set s inside backing, or 0
-	// while the set is unallocated. Blocks are ways entries long.
+	// setBlock[s] is 1 + the block index of set s inside meta, or 0 while
+	// the set is unallocated. Blocks are ways long.
 	setBlock []int32
-	backing  []cacheEntry
-	clock    uint64
+	meta     []wayMeta
+	// idx[l] = (1 + global way index) | state<<wayBits for resident line
+	// l, 0 when absent. Grows lazily with the largest line inserted.
+	idx   []int32
+	clock uint64
 }
 
 // NewCache builds an empty cache; it panics on an invalid configuration,
@@ -119,6 +151,9 @@ type Cache struct {
 func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if cfg.Lines() > wayMask {
+		panic(fmt.Sprintf("mem: %d lines overflow the packed residency entry", cfg.Lines()))
 	}
 	nsets := uint64(cfg.Sets())
 	return &Cache{
@@ -141,105 +176,94 @@ func (c *Cache) setOf(l Line) int {
 	return int(uint64(l) % c.nsets)
 }
 
-// setFor returns the entries of a set, or nil while the set is unallocated
-// (equivalent to a set holding only Invalid entries).
-func (c *Cache) setFor(s int) []cacheEntry {
-	b := c.setBlock[s]
-	if b == 0 {
-		return nil
-	}
-	off := int(b-1) * c.ways
-	return c.backing[off : off+c.ways : off+c.ways]
-}
-
-// allocSet materializes a set's backing storage on its first Insert.
-func (c *Cache) allocSet(s int) []cacheEntry {
-	off := len(c.backing)
+// allocSet materializes a set's backing storage on its first Insert and
+// returns the block offset.
+func (c *Cache) allocSet(s int) int {
+	off := len(c.meta)
 	for i := 0; i < c.ways; i++ {
-		c.backing = append(c.backing, cacheEntry{})
+		c.meta = append(c.meta, wayMeta{tag: invalidTag})
 	}
 	c.setBlock[s] = int32(off/c.ways) + 1
-	return c.backing[off : off+c.ways : off+c.ways]
+	return off
+}
+
+// entry returns line l's packed residency entry, or 0 when absent.
+func (c *Cache) entry(l Line) int32 {
+	if uint64(l) < uint64(len(c.idx)) {
+		return c.idx[l]
+	}
+	return 0
 }
 
 // Lookup returns the MESI state of a line, refreshing its LRU position on a
-// hit. Invalid means a miss. The set extraction is open-coded (rather than
-// going through setFor) because this is the single hottest function of the
-// memory model: every simulated access runs one L1 and often one L2 lookup.
+// hit. Invalid means a miss.
 func (c *Cache) Lookup(l Line) MESIState {
 	c.clock++
-	b := c.setBlock[c.setOf(l)]
-	if b == 0 {
-		return Invalid
-	}
-	off := int(b-1) * c.ways
-	set := c.backing[off : off+c.ways]
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == l {
-			set[i].lru = c.clock
-			return set[i].state
-		}
+	if e := c.entry(l); e != 0 {
+		c.meta[e&wayMask-1].lru = c.clock
+		return MESIState(e >> wayBits)
 	}
 	return Invalid
 }
 
-// lookupEntry is Lookup returning the resident entry itself (nil on a
-// miss). The write path reads and then transitions the state of the same
-// entry; returning the entry saves the second set search SetState would
-// run. Clock advance and LRU refresh are identical to Lookup. The pointer
-// is valid until the next Insert into this cache.
-func (c *Cache) lookupEntry(l Line) *cacheEntry {
+// lookupWay is Lookup returning the matched way's index alongside the
+// state (-1 on a miss). The write path reads and then transitions the
+// state of the same way; returning the index lets it use setStateAt
+// instead of a second residency resolution. Clock advance and LRU refresh
+// are identical to Lookup. The index is valid until the next Insert into
+// this cache.
+func (c *Cache) lookupWay(l Line) (int, MESIState) {
 	c.clock++
-	b := c.setBlock[c.setOf(l)]
-	if b == 0 {
-		return nil
+	if e := c.entry(l); e != 0 {
+		ix := int(e&wayMask) - 1
+		c.meta[ix].lru = c.clock
+		return ix, MESIState(e >> wayBits)
 	}
-	off := int(b-1) * c.ways
-	set := c.backing[off : off+c.ways]
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == l {
-			set[i].lru = c.clock
-			return &set[i]
-		}
-	}
-	return nil
+	return -1, Invalid
 }
 
 // Probe returns the state of a line without touching LRU state — the
 // snooping path, which must not disturb the replacement order of the
-// snooped cache.
+// snooped cache. One load: absent lines decode to Invalid.
 func (c *Cache) Probe(l Line) MESIState {
-	b := c.setBlock[c.setOf(l)]
-	if b == 0 {
-		return Invalid
-	}
-	off := int(b-1) * c.ways
-	set := c.backing[off : off+c.ways]
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == l {
-			return set[i].state
-		}
-	}
-	return Invalid
+	return MESIState(c.entry(l) >> wayBits)
 }
 
 // SetState transitions the state of a resident line (e.g. on a snoop
 // downgrade M→S or an invalidation →I). It reports whether the line was
 // resident.
 func (c *Cache) SetState(l Line, s MESIState) bool {
-	b := c.setBlock[c.setOf(l)]
-	if b == 0 {
+	e := c.entry(l)
+	if e == 0 {
 		return false
 	}
-	off := int(b-1) * c.ways
-	set := c.backing[off : off+c.ways]
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == l {
-			set[i].state = s
-			return true
-		}
+	if s == Invalid {
+		c.meta[e&wayMask-1].tag = invalidTag
+		c.idx[l] = 0
+		return true
 	}
-	return false
+	c.idx[l] = e&wayMask | int32(s)<<wayBits
+	return true
+}
+
+// setStateAt transitions the state of the resident line l known to sit at
+// global way index ix (from lookupWay). It skips the residency resolution
+// SetState would run; transitioning to Invalid retires the way.
+func (c *Cache) setStateAt(ix int, l Line, s MESIState) {
+	if s == Invalid {
+		c.meta[ix].tag = invalidTag
+		c.idx[l] = 0
+		return
+	}
+	c.idx[l] = int32(ix+1) | int32(s)<<wayBits
+}
+
+// indexLine records line l as resident at global way index ix with state s.
+func (c *Cache) indexLine(l Line, ix int, s MESIState) {
+	for uint64(len(c.idx)) <= uint64(l) {
+		c.idx = append(c.idx, 0)
+	}
+	c.idx[l] = int32(ix+1) | int32(s)<<wayBits
 }
 
 // Eviction describes a line displaced by Insert.
@@ -254,33 +278,55 @@ type Eviction struct {
 // that is already resident just updates its state and LRU position.
 func (c *Cache) Insert(l Line, s MESIState) Eviction {
 	c.clock++
-	si := c.setOf(l)
-	set := c.setFor(si)
-	if set == nil {
-		set = c.allocSet(si)
+	if e := c.entry(l); e != 0 {
+		ix := e & wayMask
+		c.meta[ix-1].lru = c.clock
+		c.idx[l] = ix | int32(s)<<wayBits
+		return Eviction{}
 	}
-	victim := -1
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == l {
-			set[i].state = s
-			set[i].lru = c.clock
-			return Eviction{}
+	return c.fill(l, s)
+}
+
+// insertNew is Insert for a line the caller has just established is not
+// resident (a miss fill); it skips the residency probe. Calling it with a
+// resident line would duplicate the line in its set.
+func (c *Cache) insertNew(l Line, s MESIState) Eviction {
+	c.clock++
+	return c.fill(l, s)
+}
+
+// fill installs a non-resident line, choosing a victim way.
+func (c *Cache) fill(l Line, s MESIState) Eviction {
+	si := c.setOf(l)
+	var off int
+	if b := c.setBlock[si]; b == 0 {
+		off = c.allocSet(si)
+	} else {
+		off = int(b-1) * c.ways
+	}
+	// One pass picks the victim: the first empty way wins outright,
+	// otherwise the first way with the minimal LRU stamp.
+	end := off + c.ways
+	victim, free := off, false
+	minLru := ^uint64(0)
+	for w := off; w < end; w++ {
+		m := &c.meta[w]
+		if m.tag == invalidTag {
+			victim, free = w, true
+			break
 		}
-		if set[i].state == Invalid && victim == -1 {
-			victim = i
+		if m.lru < minLru {
+			minLru, victim = m.lru, w
 		}
 	}
 	var ev Eviction
-	if victim == -1 {
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[victim].lru {
-				victim = i
-			}
-		}
-		ev = Eviction{Line: set[victim].line, State: set[victim].state, Happened: true}
+	if !free {
+		old := Line(c.meta[victim].tag)
+		ev = Eviction{Line: old, State: MESIState(c.idx[old] >> wayBits), Happened: true}
+		c.idx[old] = 0
 	}
-	set[victim] = cacheEntry{line: l, state: s, lru: c.clock}
+	c.meta[victim] = wayMeta{tag: uint64(l), lru: c.clock}
+	c.indexLine(l, victim, s)
 	return ev
 }
 
@@ -289,9 +335,14 @@ func (c *Cache) Insert(l Line, s MESIState) Eviction {
 // actual contents against their shadow model.
 func (c *Cache) Each(f func(Line, MESIState)) {
 	for s := range c.setBlock {
-		for _, e := range c.setFor(s) {
-			if e.state != Invalid {
-				f(e.line, e.state)
+		b := c.setBlock[s]
+		if b == 0 {
+			continue
+		}
+		off := int(b-1) * c.ways
+		for i := 0; i < c.ways; i++ {
+			if t := c.meta[off+i].tag; t != invalidTag {
+				f(Line(t), MESIState(c.idx[t]>>wayBits))
 			}
 		}
 	}
@@ -300,11 +351,9 @@ func (c *Cache) Each(f func(Line, MESIState)) {
 // Len returns the number of resident lines.
 func (c *Cache) Len() int {
 	n := 0
-	for s := range c.setBlock {
-		for _, e := range c.setFor(s) {
-			if e.state != Invalid {
-				n++
-			}
+	for i := range c.meta {
+		if c.meta[i].tag != invalidTag {
+			n++
 		}
 	}
 	return n
@@ -312,10 +361,10 @@ func (c *Cache) Len() int {
 
 // Flush invalidates every line without write-backs (test helper).
 func (c *Cache) Flush() {
-	for s := range c.setBlock {
-		set := c.setFor(s)
-		for i := range set {
-			set[i].state = Invalid
-		}
+	for i := range c.meta {
+		c.meta[i].tag = invalidTag
+	}
+	for i := range c.idx {
+		c.idx[i] = 0
 	}
 }

@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlbmap/internal/topology"
+)
+
+// TestDirectoryMatchesBroadcast replays a random Read/Write mix through two
+// identically-configured Systems — one with the sharing directories active,
+// one forced onto the original probe-every-domain broadcast loops — and
+// requires identical latencies per operation, identical counters, identical
+// cache contents and an identical front-side-bus schedule. The directories
+// are an index over the snoop paths, never a semantic change.
+func TestDirectoryMatchesBroadcast(t *testing.T) {
+	l1 := CacheConfig{SizeBytes: 8 * LineSize, Ways: 2, Latency: 2}
+	l2 := CacheConfig{SizeBytes: 32 * LineSize, Ways: 4, Latency: 8}
+	for _, mk := range []struct {
+		name string
+		m    func() *topology.Machine
+	}{
+		{"harpertown", topology.Harpertown},
+		{"numa", func() *topology.Machine { return topology.NUMA(2) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			dir := NewSystem(mk.m(), l1, l2)
+			ref := NewSystem(mk.m(), l1, l2)
+			ref.l2dirOK, ref.l1dirOK = false, false
+			if !dir.l2dirOK || !dir.l1dirOK {
+				t.Fatal("directories not active on a small machine")
+			}
+			ncores := mk.m().NumCores()
+			rng := rand.New(rand.NewSource(11))
+			for op := 0; op < 30000; op++ {
+				core := rng.Intn(ncores)
+				l := Line(rng.Intn(96))
+				now := uint64(op) * 3
+				if rng.Intn(3) == 0 {
+					got, want := dir.Write(core, l, now), ref.Write(core, l, now)
+					if got != want {
+						t.Fatalf("op %d: Write(%d, %d) latency %d, want %d", op, core, l, got, want)
+					}
+				} else {
+					got, want := dir.Read(core, l, now), ref.Read(core, l, now)
+					if got != want {
+						t.Fatalf("op %d: Read(%d, %d) latency %d, want %d", op, core, l, got, want)
+					}
+				}
+				if dir.fsbFreeAt != ref.fsbFreeAt {
+					t.Fatalf("op %d: fsbFreeAt %d, want %d", op, dir.fsbFreeAt, ref.fsbFreeAt)
+				}
+				if op%1000 == 0 {
+					if err := dir.validateDirectories(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := dir.validateDirectories(); err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < ncores; c++ {
+				if *dir.Counters(c) != *ref.Counters(c) {
+					t.Fatalf("core %d counters diverge:\n  dir: %s\n  ref: %s",
+						c, dir.Counters(c).String(), ref.Counters(c).String())
+				}
+			}
+			for c := 0; c < ncores; c++ {
+				compareCaches(t, "L1", c, dir.L1(c), ref.L1(c))
+			}
+			for d := 0; d < dir.NumDomains(); d++ {
+				compareCaches(t, "L2", d, dir.L2(d), ref.L2(d))
+			}
+		})
+	}
+}
+
+func compareCaches(t *testing.T, level string, idx int, a, b *Cache) {
+	t.Helper()
+	got := map[Line]MESIState{}
+	a.Each(func(l Line, s MESIState) { got[l] = s })
+	want := map[Line]MESIState{}
+	b.Each(func(l Line, s MESIState) { want[l] = s })
+	if len(got) != len(want) {
+		t.Fatalf("%s %d holds %d lines, want %d", level, idx, len(got), len(want))
+	}
+	for l, s := range want {
+		if got[l] != s {
+			t.Fatalf("%s %d line %d state %v, want %v", level, idx, l, got[l], s)
+		}
+	}
+}

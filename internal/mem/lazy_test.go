@@ -5,9 +5,18 @@ import (
 	"testing"
 )
 
-// refCache is a straightforward map-backed model of a set-associative LRU
-// cache, used to check that the lazily-allocated Cache behaves exactly like
-// an eagerly-zeroed one.
+// cacheEntry is the reference model's array-of-structs representation of
+// one cache way; the production Cache stores the same three fields in
+// parallel arrays.
+type cacheEntry struct {
+	line  Line
+	state MESIState
+	lru   uint64
+}
+
+// refCache is a straightforward eagerly-allocated model of a set-associative
+// LRU cache, used to check that the lazily-allocated struct-of-arrays Cache
+// behaves exactly like an eagerly-zeroed array-of-structs one.
 type refCache struct {
 	cfg   CacheConfig
 	sets  [][]cacheEntry
@@ -100,7 +109,10 @@ func TestLazyCacheMatchesEagerModel(t *testing.T) {
 					t.Fatalf("cfg %+v op %d: Insert(%d) eviction = %+v, want %+v", cfg, op, l, got, want)
 				}
 			case 2:
-				st := states[rng.Intn(len(states))]
+				// Include Invalid: the production cache retires the way's
+				// tag to the sentinel, the model only flips the state —
+				// the two must stay indistinguishable.
+				st := MESIState(rng.Intn(len(states) + 1))
 				if got, want := c.SetState(l, st), ref.setState(l, st); got != want {
 					t.Fatalf("cfg %+v op %d: SetState(%d) = %v, want %v", cfg, op, l, got, want)
 				}
@@ -146,13 +158,13 @@ func probeRef(c *refCache, l Line) MESIState {
 // entry storage and that Flush keeps working on a partially-allocated cache.
 func TestLazyCacheAllocatesOnDemand(t *testing.T) {
 	c := NewCache(DefaultL2Config)
-	if len(c.backing) != 0 {
-		t.Fatalf("fresh cache allocated %d entries", len(c.backing))
+	if len(c.meta) != 0 {
+		t.Fatalf("fresh cache allocated %d ways", len(c.meta))
 	}
 	c.Insert(0, Shared)
 	c.Insert(1, Modified)
-	if want := 2 * DefaultL2Config.Ways; len(c.backing) != want {
-		t.Fatalf("backing holds %d entries after two inserts, want %d", len(c.backing), want)
+	if want := 2 * DefaultL2Config.Ways; len(c.meta) != want {
+		t.Fatalf("backing holds %d ways after two inserts, want %d", len(c.meta), want)
 	}
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())

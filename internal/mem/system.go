@@ -1,6 +1,9 @@
 package mem
 
 import (
+	"fmt"
+	"math/bits"
+
 	"tlbmap/internal/metrics"
 	"tlbmap/internal/topology"
 )
@@ -50,6 +53,42 @@ type System struct {
 	// free; inter-chip transactions queue behind it.
 	fsbFreeAt uint64
 
+	// Exact sharing directories. A real snooping bus broadcasts every miss
+	// to every L2; modelling that as a probe loop over all domains makes
+	// the simulator's miss cost scale with machine size even though most
+	// probes find nothing. The directories record, per physical line, the
+	// exact holder set as a bitmask, so the coherence paths visit only
+	// actual holders — the simulated latencies and counters are unchanged
+	// because probes that would have missed contribute neither.
+	//
+	// l2dir[line] is the mask of L2 domains holding the line (machines
+	// with ≤64 domains; l2dirOK). l1dir[line] is the mask of cores whose
+	// L1 holds the line (≤64 cores; l1dirOK). Beyond those sizes the
+	// original probe-everyone loops are used. Both slices grow lazily with
+	// the touched line range; lines past the end hold nothing.
+	l2dirOK bool
+	l1dirOK bool
+	l2dir   []uint64
+	l1dir   []uint64
+	// sibMask[c] is the mask of core c's same-domain siblings (excluding
+	// c itself); domainL1Mask[d] is the mask of all cores in domain d.
+	// Only built when l1dirOK.
+	sibMask      []uint64
+	domainL1Mask []uint64
+
+	// Interconnect geometry tables. Every coherence transaction charges
+	// the latency between the requesting core and a supplying domain's
+	// representative core, and asks whether the hop crosses a chip; both
+	// answers are fixed by the topology, so they are computed once here
+	// instead of walking the sharing tree per snoop. domLat[core*nDomains
+	// + d] is Latency(core, domainRep[d]); domXChip is !SameChip of the
+	// same pair. domTabOK gates the tables on machines small enough to
+	// afford the n×domains footprint.
+	domTabOK bool
+	nDomains int
+	domLat   []uint32
+	domXChip []bool
+
 	// obs, when non-nil, receives every access and coherence transition
 	// (see Observer). All hook sites are nil-guarded so the disabled cost
 	// is one pointer comparison.
@@ -97,8 +136,89 @@ func NewSystem(m *topology.Machine, l1cfg, l2cfg CacheConfig) *System {
 		s.l2s[d] = NewCache(l2cfg)
 		s.domainRep[d] = s.domainCores[d][0]
 	}
+	s.l2dirOK = numDomains <= 64
+	s.l1dirOK = n <= 64
+	if s.l1dirOK {
+		s.sibMask = make([]uint64, n)
+		s.domainL1Mask = make([]uint64, numDomains)
+		for d := 0; d < numDomains; d++ {
+			var m uint64
+			for _, c := range s.domainCores[d] {
+				m |= 1 << uint(c)
+			}
+			s.domainL1Mask[d] = m
+			for _, c := range s.domainCores[d] {
+				s.sibMask[c] = m &^ (1 << uint(c))
+			}
+		}
+	}
+	s.nDomains = numDomains
+	if s.domTabOK = n*numDomains <= 1<<20; s.domTabOK {
+		s.domLat = make([]uint32, n*numDomains)
+		s.domXChip = make([]bool, n*numDomains)
+		for c := 0; c < n; c++ {
+			for d := 0; d < numDomains; d++ {
+				rep := s.domainRep[d]
+				s.domLat[c*numDomains+d] = uint32(m.Latency(c, rep))
+				s.domXChip[c*numDomains+d] = !m.SameChip(c, rep)
+			}
+		}
+	}
 	s.numa = m.NUMANode(0) >= 0
 	return s
+}
+
+// repLatency returns the interconnect latency from core to domain d's
+// representative and whether the hop crosses a chip boundary.
+func (s *System) repLatency(core, d int) (uint64, bool) {
+	if s.domTabOK {
+		o := core*s.nDomains + d
+		return uint64(s.domLat[o]), s.domXChip[o]
+	}
+	rep := s.domainRep[d]
+	return s.machine.Latency(core, rep), !s.machine.SameChip(core, rep)
+}
+
+// l2Holders returns the directory mask of L2 domains holding line l.
+func (s *System) l2Holders(l Line) uint64 {
+	if uint64(l) < uint64(len(s.l2dir)) {
+		return s.l2dir[l]
+	}
+	return 0
+}
+
+// l1Holders returns the directory mask of cores whose L1 holds line l.
+func (s *System) l1Holders(l Line) uint64 {
+	if uint64(l) < uint64(len(s.l1dir)) {
+		return s.l1dir[l]
+	}
+	return 0
+}
+
+func (s *System) l2dirSet(l Line, d int) {
+	for uint64(len(s.l2dir)) <= uint64(l) {
+		s.l2dir = append(s.l2dir, 0)
+	}
+	s.l2dir[l] |= 1 << uint(d)
+}
+
+func (s *System) l2dirClear(l Line, d int) {
+	if uint64(l) < uint64(len(s.l2dir)) {
+		s.l2dir[l] &^= 1 << uint(d)
+	}
+}
+
+func (s *System) l1dirSet(l Line, core int) {
+	for uint64(len(s.l1dir)) <= uint64(l) {
+		s.l1dir = append(s.l1dir, 0)
+	}
+	s.l1dir[l] |= 1 << uint(core)
+}
+
+func (s *System) l1dirClear(l Line, core int) {
+	if uint64(l) < uint64(len(s.l1dir)) {
+		s.l1dir[l] &^= 1 << uint(core)
+	}
 }
 
 // PlaceFrame records the NUMA node a physical frame's memory lives on.
@@ -192,8 +312,15 @@ func (s *System) Read(core int, l Line, now uint64) uint64 {
 		lat += extra
 	}
 	// Fill the L1; write-through L1s never hold dirty data, so the
-	// eviction is silent.
-	ev := s.l1s[core].Insert(l, Shared)
+	// eviction is silent. The line is known non-resident: this L1 just
+	// missed it, and the fetch path only invalidates remote domains.
+	ev := s.l1s[core].insertNew(l, Shared)
+	if s.l1dirOK {
+		if ev.Happened {
+			s.l1dirClear(ev.Line, core)
+		}
+		s.l1dirSet(l, core)
+	}
 	if s.obs != nil {
 		if ev.Happened {
 			s.obs.OnL1Drop(core, ev.Line)
@@ -221,18 +348,14 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 	d := s.machine.L2Domain(core)
 	l2 := s.l2s[d]
 	// One set search covers both the state read and the M-upgrade write
-	// (the entry pointer stays valid: nothing below inserts into this L2
+	// (the way index stays valid: nothing below inserts into this L2
 	// before the transition).
-	e := l2.lookupEntry(l)
-	st := Invalid
-	if e != nil {
-		st = e.state
-	}
+	w, st := l2.lookupWay(l)
 	switch st {
 	case Modified:
 		// Already owned; nothing to do.
 	case Exclusive:
-		e.state = Modified
+		l2.setStateAt(w, l, Modified)
 		if s.obs != nil {
 			s.obs.OnL2State(d, l, Exclusive, Modified)
 		}
@@ -240,7 +363,7 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 		// Upgrade: invalidate every remote copy (the MESI invalidation
 		// storm of Section III-A1 that a good mapping minimizes).
 		lat += s.invalidateRemote(core, d, l, now)
-		e.state = Modified
+		l2.setStateAt(w, l, Modified)
 		if s.obs != nil {
 			s.obs.OnL2State(d, l, Shared, Modified)
 		}
@@ -253,11 +376,24 @@ func (s *System) Write(core int, l Line, now uint64) uint64 {
 
 	// Keep sibling L1s inside the same L2 domain coherent: a store by one
 	// core invalidates the line in the other core's private L1.
-	for _, peer := range s.domainCores[d] {
-		if peer != core && s.l1s[peer].SetState(l, Invalid) {
-			ctr.Inc(metrics.Invalidations)
-			if s.obs != nil {
-				s.obs.OnL1Drop(peer, l)
+	if s.l1dirOK {
+		for m := s.l1Holders(l) & s.sibMask[core]; m != 0; m &= m - 1 {
+			peer := bits.TrailingZeros64(m)
+			if s.l1s[peer].SetState(l, Invalid) {
+				s.l1dirClear(l, peer)
+				ctr.Inc(metrics.Invalidations)
+				if s.obs != nil {
+					s.obs.OnL1Drop(peer, l)
+				}
+			}
+		}
+	} else {
+		for _, peer := range s.domainCores[d] {
+			if peer != core && s.l1s[peer].SetState(l, Invalid) {
+				ctr.Inc(metrics.Invalidations)
+				if s.obs != nil {
+					s.obs.OnL1Drop(peer, l)
+				}
 			}
 		}
 	}
@@ -278,32 +414,16 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uin
 	var lat uint64
 	supplier := -1
 	var supplierState MESIState
-	for d2 := range s.l2s {
-		if d2 == d {
-			continue
+	if s.l2dirOK {
+		for m := s.l2Holders(l) &^ (1 << uint(d)); m != 0; m &= m - 1 {
+			supplier, supplierState = s.snoopDomain(ctr, bits.TrailingZeros64(m), l,
+				exclusive, supplier, supplierState)
 		}
-		st := s.l2s[d2].Probe(l)
-		if st == Invalid {
-			continue
-		}
-		if supplier == -1 || st == Modified {
-			supplier, supplierState = d2, st
-		}
-		if exclusive {
-			// Invalidate every holder on a write miss.
-			s.invalidateDomain(ctr, d2, l)
-		} else if st != Shared {
-			// Downgrade E/M to S on a read miss; a Modified supplier
-			// writes the dirty line back as part of the transfer.
-			if st == Modified {
-				ctr.Inc(metrics.MemoryWrites)
-				if s.obs != nil {
-					s.obs.OnWriteBack(d2, l)
-				}
-			}
-			s.l2s[d2].SetState(l, Shared)
-			if s.obs != nil {
-				s.obs.OnL2State(d2, l, st, Shared)
+	} else {
+		for d2 := range s.l2s {
+			if d2 != d {
+				supplier, supplierState = s.snoopDomain(ctr, d2, l,
+					exclusive, supplier, supplierState)
 			}
 		}
 	}
@@ -320,9 +440,9 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uin
 		// Cache-to-cache transfer: the snoop transaction of Figure 8.
 		src = SrcCache
 		ctr.Inc(metrics.SnoopTransactions)
-		rep := s.domainRep[supplier]
-		lat += s.machine.Latency(core, rep)
-		if s.machine.SameChip(core, rep) {
+		hop, xchip := s.repLatency(core, supplier)
+		lat += hop
+		if !xchip {
 			ctr.Inc(metrics.IntraChipTraffic)
 		} else {
 			ctr.Inc(metrics.InterChipTraffic)
@@ -334,7 +454,14 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uin
 		lat += s.memFill(ctr, core, l, now+lat)
 	}
 
-	ev := s.l2s[d].Insert(l, newState)
+	// Known non-resident: this L2 just missed the line.
+	ev := s.l2s[d].insertNew(l, newState)
+	if s.l2dirOK {
+		if ev.Happened {
+			s.l2dirClear(ev.Line, d)
+		}
+		s.l2dirSet(l, d)
+	}
 	if ev.Happened {
 		if ev.State == Modified {
 			ctr.Inc(metrics.MemoryWrites)
@@ -346,9 +473,21 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uin
 			s.obs.OnL2Evict(d, ev.Line, ev.State)
 		}
 		// Enforce inclusion: drop the evicted line from the domain's L1s.
-		for _, peer := range s.domainCores[d] {
-			if s.l1s[peer].SetState(ev.Line, Invalid) && s.obs != nil {
-				s.obs.OnL1Drop(peer, ev.Line)
+		if s.l1dirOK {
+			for m := s.l1Holders(ev.Line) & s.domainL1Mask[d]; m != 0; m &= m - 1 {
+				peer := bits.TrailingZeros64(m)
+				if s.l1s[peer].SetState(ev.Line, Invalid) {
+					s.l1dirClear(ev.Line, peer)
+					if s.obs != nil {
+						s.obs.OnL1Drop(peer, ev.Line)
+					}
+				}
+			}
+		} else {
+			for _, peer := range s.domainCores[d] {
+				if s.l1s[peer].SetState(ev.Line, Invalid) && s.obs != nil {
+					s.obs.OnL1Drop(peer, ev.Line)
+				}
 			}
 		}
 	}
@@ -356,6 +495,40 @@ func (s *System) fetchLine(core, d int, l Line, now uint64, exclusive bool) (uin
 		s.obs.OnL2Install(d, l, newState, src, supplier)
 	}
 	return lat, src, supplier
+}
+
+// snoopDomain resolves one remote domain's part in a snoop: it probes the
+// domain's L2 and, if the line is held, invalidates (BusRdX) or downgrades
+// (BusRd) the copy, threading the (supplier, state) accumulator through so
+// the last Modified holder — or the first holder of any kind — supplies
+// the line. It is a plain method rather than a closure in fetchLine so the
+// per-holder call passes its state in registers.
+func (s *System) snoopDomain(ctr *metrics.Counters, d2 int, l Line, exclusive bool, supplier int, supplierState MESIState) (int, MESIState) {
+	st := s.l2s[d2].Probe(l)
+	if st == Invalid {
+		return supplier, supplierState
+	}
+	if supplier == -1 || st == Modified {
+		supplier, supplierState = d2, st
+	}
+	if exclusive {
+		// Invalidate every holder on a write miss.
+		s.invalidateDomain(ctr, d2, l)
+	} else if st != Shared {
+		// Downgrade E/M to S on a read miss; a Modified supplier
+		// writes the dirty line back as part of the transfer.
+		if st == Modified {
+			ctr.Inc(metrics.MemoryWrites)
+			if s.obs != nil {
+				s.obs.OnWriteBack(d2, l)
+			}
+		}
+		s.l2s[d2].SetState(l, Shared)
+		if s.obs != nil {
+			s.obs.OnL2State(d2, l, st, Shared)
+		}
+	}
+	return supplier, supplierState
 }
 
 // invalidateRemote invalidates the line in every other L2 domain (and the
@@ -366,23 +539,37 @@ func (s *System) invalidateRemote(core, d int, l Line, now uint64) uint64 {
 	ctr := s.ctr[core]
 	var lat uint64
 	crossChip := false
-	for d2 := range s.l2s {
-		if d2 == d {
-			continue
+	if s.l2dirOK {
+		for m := s.l2Holders(l) &^ (1 << uint(d)); m != 0; m &= m - 1 {
+			d2 := bits.TrailingZeros64(m)
+			s.invalidateDomain(ctr, d2, l)
+			hop, xchip := s.repLatency(core, d2)
+			if hop > lat {
+				lat = hop
+			}
+			if !xchip {
+				ctr.Inc(metrics.IntraChipTraffic)
+			} else {
+				ctr.Inc(metrics.InterChipTraffic)
+				crossChip = true
+			}
 		}
-		if s.l2s[d2].Probe(l) == Invalid {
-			continue
-		}
-		s.invalidateDomain(ctr, d2, l)
-		rep := s.domainRep[d2]
-		if cost := s.machine.Latency(core, rep); cost > lat {
-			lat = cost
-		}
-		if s.machine.SameChip(core, rep) {
-			ctr.Inc(metrics.IntraChipTraffic)
-		} else {
-			ctr.Inc(metrics.InterChipTraffic)
-			crossChip = true
+	} else {
+		for d2 := range s.l2s {
+			if d2 == d || s.l2s[d2].Probe(l) == Invalid {
+				continue
+			}
+			s.invalidateDomain(ctr, d2, l)
+			hop, xchip := s.repLatency(core, d2)
+			if hop > lat {
+				lat = hop
+			}
+			if !xchip {
+				ctr.Inc(metrics.IntraChipTraffic)
+			} else {
+				ctr.Inc(metrics.InterChipTraffic)
+				crossChip = true
+			}
 		}
 	}
 	if crossChip {
@@ -415,11 +602,24 @@ func (s *System) invalidateDomain(ctr *metrics.Counters, d2 int, l Line) {
 	// Drop the L1 copies first so that, when the L2 invalidation event
 	// fires, the observers see the domain's invalidation as one atomic
 	// action with inclusion already restored.
-	for _, c2 := range s.domainCores[d2] {
-		if s.l1s[c2].SetState(l, Invalid) {
-			ctr.Inc(metrics.Invalidations)
-			if s.obs != nil {
-				s.obs.OnL1Drop(c2, l)
+	if s.l1dirOK {
+		for m := s.l1Holders(l) & s.domainL1Mask[d2]; m != 0; m &= m - 1 {
+			c2 := bits.TrailingZeros64(m)
+			if s.l1s[c2].SetState(l, Invalid) {
+				s.l1dirClear(l, c2)
+				ctr.Inc(metrics.Invalidations)
+				if s.obs != nil {
+					s.obs.OnL1Drop(c2, l)
+				}
+			}
+		}
+	} else {
+		for _, c2 := range s.domainCores[d2] {
+			if s.l1s[c2].SetState(l, Invalid) {
+				ctr.Inc(metrics.Invalidations)
+				if s.obs != nil {
+					s.obs.OnL1Drop(c2, l)
+				}
 			}
 		}
 	}
@@ -433,4 +633,55 @@ func (s *System) invalidateDomain(ctr *metrics.Counters, d2 int, l Line) {
 			s.obs.OnL2State(d2, l, old, Invalid)
 		}
 	}
+	s.l2dirClear(l, d2)
+}
+
+func fmtDirErr(which string, l Line, got, want uint64) error {
+	return fmt.Errorf("mem: %s[%d] = %#x, want %#x", which, l, got, want)
+}
+
+// validateDirectories cross-checks the sharing directories against the
+// actual cache contents (test helper; O(cache size)).
+func (s *System) validateDirectories() error {
+	if s.l2dirOK {
+		want := map[Line]uint64{}
+		for d, l2 := range s.l2s {
+			l2.Each(func(l Line, st MESIState) {
+				if st != Invalid {
+					want[l] |= 1 << uint(d)
+				}
+			})
+		}
+		for l, m := range want {
+			if s.l2Holders(l) != m {
+				return fmtDirErr("l2dir", l, s.l2Holders(l), m)
+			}
+		}
+		for li, m := range s.l2dir {
+			if m != 0 && want[Line(li)] != m {
+				return fmtDirErr("l2dir", Line(li), m, want[Line(li)])
+			}
+		}
+	}
+	if s.l1dirOK {
+		want := map[Line]uint64{}
+		for c, l1 := range s.l1s {
+			l1.Each(func(l Line, st MESIState) {
+				if st != Invalid {
+					want[l] |= 1 << uint(c)
+				}
+			})
+		}
+		for l, m := range want {
+			if s.l1Holders(l) != m {
+				return fmtDirErr("l1dir", l, s.l1Holders(l), m)
+			}
+		}
+		for li, m := range s.l1dir {
+			if m != 0 && want[Line(li)] != m {
+				return fmtDirErr("l1dir", Line(li), m, want[Line(li)])
+			}
+		}
+	}
+	return nil
 }

@@ -103,6 +103,21 @@ type Config struct {
 	// here so per-job timeouts and Ctrl-C cancel in-flight simulations
 	// promptly.
 	Interrupt <-chan struct{}
+	// ShardWorkers enables deterministic intra-run sharding (shard.go):
+	// values above 1 partition the threads into that many contiguous
+	// shards whose workers predecode trace batches in parallel at
+	// quantum-epoch window barriers, while the commit loop stays serial
+	// and exact. The Result is byte-identical at every worker count —
+	// including 0/1, which select the plain serial engine — because the
+	// workers compute only pure functions of immutable batches into
+	// disjoint scratch. See DESIGN.md §14 for why the memory state
+	// machine itself cannot be parallelized without changing results.
+	ShardWorkers int
+	// ShardWindow is the quantum-epoch length in simulated cycles between
+	// shard barriers; zero selects DefaultShardWindow. Ignored unless
+	// ShardWorkers > 1. The window never affects results, only how often
+	// the workers get fresh batches to decode.
+	ShardWindow uint64
 	// useLinearPick forces the original Θ(threads) linear scheduler scan
 	// instead of the indexed min-heap ready queue. Test-only knob (the
 	// field is unexported; tests live in this package): the randomized
@@ -145,6 +160,7 @@ type Result struct {
 type threadState struct {
 	batch     trace.Batch
 	idx       int // next event within batch
+	batchSeq  int // refill generation, for the shard predecode scratch
 	clock     uint64
 	atBarrier bool
 	done      bool
@@ -154,7 +170,16 @@ type threadState struct {
 // Run drives a team to completion and returns the result. The address space
 // must be the one the team's traced arrays were allocated in.
 func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
-	n := len(team.Threads)
+	return RunSource(cfg, as, team)
+}
+
+// RunSource drives any trace.Source — a live goroutine Team or a compiled
+// Replay — to completion. Both paths take every scheduling decision through
+// the same Source calls, so a Replay of trace.Compile(team) produces a
+// byte-identical Result to driving the team directly, without goroutine
+// switches or channel operations in the steady state.
+func RunSource(cfg Config, as *vm.AddressSpace, src trace.Source) (*Result, error) {
+	n := src.NumThreads()
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("sim: Config.Machine is required")
 	}
@@ -312,20 +337,57 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		st := &states[i]
 		if !st.started {
 			st.started = true
-			st.batch = team.Start(i)
+			st.batch = src.Start(i)
 		} else {
-			st.batch = team.Resume(i)
+			st.batch = src.Resume(i)
 		}
 		st.idx = 0
+		st.batchSeq++
 	}
 
+	// Deterministic intra-run sharding: shard workers predecode batches at
+	// quantum-epoch barriers on the simulated clock (shard.go). shardNext
+	// is the next barrier; serial runs park it at the unreachable maximum
+	// so the per-span check costs one always-false compare.
+	var shard *shardExec
+	shardNext := ^uint64(0)
+	if cfg.ShardWorkers > 1 {
+		shard = newShardExec(n, cfg.ShardWorkers, cfg.ShardWindow)
+		shardNext = shard.window
+	}
+
+	// Capability gating beyond the NullDetector fast path: detectors that
+	// declare MaybeScan or OnAccess side-effect-free no-ops (SM, HM,
+	// oracle) skip the corresponding per-event dynamic dispatch. Wrappers
+	// without the markers (Multi, Epoch, the fault layer) keep the full
+	// conservative hook set.
+	scanDet := !nullDet
+	accessDet := !nullDet
+	if _, ok := det.(comm.NeverScans); ok {
+		scanDet = false
+	}
+	if _, ok := det.(comm.IgnoresAccesses); ok {
+		accessDet = false
+	}
+	checkerOn := cfg.Checker != nil
+	migratorOn := cfg.Migrator != nil
+
 	aliveCount := n
+	// pendingFix defers the span-end key rebuild into the next selection:
+	// fixAndPick folds the two traversals over the ready queue into one
+	// visit. -1 means no rebuild is owed (span ended in a remove, or first
+	// iteration).
+	pendingFix := -1
 	for aliveCount > 0 {
 		var i int
+		limit := ^uint64(0)
 		if cfg.useLinearPick {
 			i = linearPick(states)
+		} else if pendingFix >= 0 {
+			i, limit = sched.fixAndPick(pendingFix)
+			pendingFix = -1
 		} else {
-			i = sched.peek()
+			i, limit = sched.pick()
 		}
 		if i == -1 {
 			// Everyone alive is parked at a barrier: release it.
@@ -356,180 +418,289 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		if !st.started {
 			refill(i)
 		}
-		if st.idx >= len(st.batch.Events) {
-			// Batch exhausted: act on its terminator. Batches are capped
-			// at trace.DefaultQuantum events, so this branch fires every
-			// few hundred events per thread — frequent enough for the
-			// cancellation poll and the fault-injection quantum hook,
-			// while keeping both entirely off the per-event path (hot-
-			// loop code measurably slows the scheduler even when the
-			// hooks are disarmed).
-			if cfg.Interrupt != nil {
-				select {
-				case <-cfg.Interrupt:
-					return nil, ErrInterrupted
-				default:
-				}
-			}
-			// Fault-injection hook: the perturber may flush TLBs through
-			// the env it was armed with and stall this thread
-			// (preemption), expanding per-event fault rates over the
-			// quantum's event count. st.clock is the global time
-			// watermark here, so injector decisions keyed on `now` are
-			// deterministic.
-			if cfg.Perturber != nil && st.idx > 0 {
-				if stall := cfg.Perturber.OnQuantum(st.clock, i, st.idx); stall > 0 {
-					st.clock += stall
-					sched.fix(i)
-				}
-			}
-			switch {
-			case st.batch.Done:
-				st.done = true
-				aliveCount--
-				sched.remove(i)
-			case st.batch.Barrier:
-				st.atBarrier = true
-				sched.remove(i)
-			default:
-				refill(i) // same clock: the heap key is unchanged
-			}
-			continue
-		}
-
-		ev := st.batch.Events[st.idx]
-		st.idx++
-
-		if ev.Kind == trace.Compute {
-			c := uint64(ev.Addr)
-			if rng != nil {
-				c = uint64(float64(c) * (1 - amp + 2*amp*rng.Float64()))
-			}
-			st.clock += c
-			sched.fix(i)
-			continue
-		}
-
-		// Dynamic migration hook: consult the Migrator on the global
-		// time watermark grid. Migrated threads pay the context-switch
-		// cost and continue with the destination core's (cold or stale)
-		// TLB and caches.
-		if cfg.Migrator != nil {
-			if !migArmed {
-				migArmed = true
-				lastMigCheck = st.clock
-			} else if st.clock-lastMigCheck >= migInterval {
-				lastMigCheck = st.clock
-				copy(migScratch, placement)
-				next := cfg.Migrator(st.clock, migScratch)
-				if next != nil {
-					if err := validatePlacement(next, n); err != nil {
-						return nil, fmt.Errorf("sim: migrator returned invalid placement: %w", err)
-					}
-					moved = moved[:0]
-					for th := range placement {
-						if placement[th] != next[th] {
-							states[th].clock += MigrationCost
-							sched.fix(th)
-							migrations++
-							moved = append(moved, th)
-						}
-					}
-					copy(placement, next)
-					rebuildView()
-					// Perturb before checking, so the checker validates
-					// the post-fault state (context-switch TLB flushes
-					// are architecturally legal and must not trip it).
-					if cfg.Perturber != nil && len(moved) > 0 {
-						cfg.Perturber.OnMigration(st.clock, moved)
-					}
-					if cfg.Checker != nil {
-						if err := cfg.Checker.OnMigration(st.clock, placement); err != nil {
-							return nil, fmt.Errorf("sim: check after migration: %w", err)
-						}
-					}
-				}
+		if st.clock >= shardNext {
+			// Window barrier: the engine is quiescent between spans, so
+			// the shard workers can fan out over the thread states. Spans
+			// start in non-decreasing clock order, so every event already
+			// committed belongs to an earlier window (modulo the bounded
+			// overshoot of a span's final event, which only ever delays a
+			// barrier — never lets one observe mid-span state).
+			shard.precompute(states)
+			for shardNext += shard.window; st.clock >= shardNext; {
+				shardNext += shard.window
 			}
 		}
 
-		// Periodic detection hook (HM). Because the scheduler always
-		// advances the minimum clock, st.clock is the global time
-		// watermark here. The scan charges every live thread the same
-		// cost; a uniform increment preserves the relative order of all
-		// (clock, id) keys, so the ready queue only shifts its keys
-		// (addAll) and never restructures.
-		if !nullDet {
-			if scanCost := det.MaybeScan(st.clock, tlbs); scanCost > 0 {
-				detectionCycles += scanCost
-				for j := range states {
-					if other := &states[j]; !other.done {
-						other.clock += scanCost
-						detCtr[j] += scanCost
-					}
-				}
-				sched.addAll(scanCost)
-				system.Counters(placement[i]).Inc(metrics.DetectionSearches)
+		// Batched apply: run thread i's events in one tight span for as
+		// long as its rebuilt key stays below every other runnable
+		// thread's key — exactly the window over which re-running peek
+		// would return i again — so the heap is touched once per span
+		// instead of once per event, and the per-thread lookups (core,
+		// TLB hierarchy, counter bank) are hoisted out of the event loop.
+		// The resulting global event order is identical to per-event
+		// selection. The bound shifts with uniform clock charges (HM
+		// scans hit every key equally) and is invalidated by non-uniform
+		// ones (migration penalties, preemption stalls), which end the
+		// span. Under the linear-pick reference scheduler the bound is
+		// pinned to 0 so every span is one event, preserving the original
+		// per-event selection the differential test compares against.
+		// The bound is translated from packed-key space into raw clock
+		// space once per span — st.clock >= clockBound ⟺ key(i) >=
+		// nextKey() — so the per-event check is one integer compare
+		// instead of a key() call. ceil((limit-i)/2^idBits) is the
+		// smallest clock whose packed key reaches limit; a limit at or
+		// below the thread id can never be beaten (keys are ≥ the id),
+		// and the all-ones "sole runnable thread" sentinel maps to an
+		// unreachable bound.
+		var clockBound uint64
+		if !cfg.useLinearPick {
+			if limit == ^uint64(0) {
+				clockBound = ^uint64(0)
+			} else if limit > uint64(i) {
+				clockBound = (limit - uint64(i) + sched.idMask) >> sched.idBits
 			}
 		}
-
+		removed := false
 		core := placement[i]
+		h := hier[core]
 		ctr := system.Counters(core)
-		accesses++
+		// The three per-event mutable fields live in locals for the span
+		// (registers instead of stores through st); boundaries that leave
+		// the loop or call hooks observing thread state sync them back.
+		events := st.batch.Events
+		idx := st.idx
+		clock := st.clock
+		// Predecoded pages for this batch, when the last shard barrier saw
+		// it; nil (inline decode) otherwise and in serial mode.
+		var prePages []vm.Page
+		if shard != nil {
+			prePages = shard.pages(i, st.batchSeq)
+		}
+		for {
+			if idx >= len(events) {
+				st.idx, st.clock = idx, clock
+				// Batch exhausted: act on its terminator. Batches are
+				// capped at trace.DefaultQuantum events, so this branch
+				// fires every few hundred events per thread — frequent
+				// enough for the cancellation poll and the fault-
+				// injection quantum hook, while keeping both entirely
+				// off the per-event path.
+				if cfg.Interrupt != nil {
+					select {
+					case <-cfg.Interrupt:
+						return nil, ErrInterrupted
+					default:
+					}
+				}
+				// Fault-injection hook: the perturber may flush TLBs
+				// through the env it was armed with and stall this
+				// thread (preemption), expanding per-event fault rates
+				// over the quantum's event count. st.clock is the global
+				// time watermark here, so injector decisions keyed on
+				// `now` are deterministic.
+				stalled := false
+				if cfg.Perturber != nil && idx > 0 {
+					if stall := cfg.Perturber.OnQuantum(clock, i, idx); stall > 0 {
+						st.clock += stall
+						sched.fix(i)
+						stalled = true
+					}
+				}
+				switch {
+				case st.batch.Done:
+					st.done = true
+					aliveCount--
+					sched.remove(i)
+					removed = true
+				case st.batch.Barrier:
+					st.atBarrier = true
+					sched.remove(i)
+					removed = true
+				default:
+					refill(i) // same clock: the heap key is unchanged
+					if !stalled {
+						events = st.batch.Events
+						idx = st.idx
+						if shard != nil {
+							prePages = shard.pages(i, st.batchSeq)
+						}
+						continue
+					}
+					// The stall moved this thread's clock: end the span
+					// and let the scheduler re-pick.
+				}
+				break
+			}
 
-		// Address translation through the TLB hierarchy of the thread's
-		// current core.
-		page := ev.Addr.Page()
-		h := hier[placement[i]]
-		frame, where := h.Lookup(page)
-		switch where {
-		case tlb.HitL1:
-			ctr.Inc(metrics.TLBHits)
-			st.clock++ // TLB access overlaps with L1 pipeline; 1 cycle
-		case tlb.HitL2:
-			// STLB hit: cheap refill, invisible to the OS (and hence to
-			// the detectors).
-			ctr.Inc(metrics.TLBHits)
-			st.clock += tlb.STLBCost
-		default: // full miss: walk (HM) or trap (SM)
-			ctr.Inc(metrics.TLBMisses)
-			st.clock += missCost
-			if !nullDet {
-				if smCost := det.OnTLBMiss(i, page, tlbs); smCost > 0 {
-					st.clock += smCost
-					detectionCycles += smCost
-					detCtr[i] += smCost
-					ctr.Inc(metrics.DetectionSearches)
+			ev := events[idx]
+			idx++
+
+			if ev.Kind == trace.Compute {
+				c := uint64(ev.Addr)
+				if rng != nil {
+					c = uint64(float64(c) * (1 - amp + 2*amp*rng.Float64()))
+				}
+				clock += c
+				if clock >= clockBound {
+					st.idx, st.clock = idx, clock
+					break
+				}
+				continue
+			}
+
+			// Dynamic migration hook: consult the Migrator on the global
+			// time watermark grid. Migrated threads pay the context-
+			// switch cost and continue with the destination core's (cold
+			// or stale) TLB and caches.
+			migrated := false
+			if migratorOn {
+				if !migArmed {
+					migArmed = true
+					lastMigCheck = clock
+				} else if clock-lastMigCheck >= migInterval {
+					lastMigCheck = clock
+					// The migrator and the hooks below observe thread
+					// clocks (states[i] aliases st), so sync the hoisted
+					// state around the whole branch.
+					st.idx, st.clock = idx, clock
+					copy(migScratch, placement)
+					next := cfg.Migrator(clock, migScratch)
+					if next != nil {
+						if err := validatePlacement(next, n); err != nil {
+							return nil, fmt.Errorf("sim: migrator returned invalid placement: %w", err)
+						}
+						moved = moved[:0]
+						for th := range placement {
+							if placement[th] != next[th] {
+								states[th].clock += MigrationCost
+								sched.fix(th)
+								migrations++
+								moved = append(moved, th)
+							}
+						}
+						copy(placement, next)
+						rebuildView()
+						// Perturb before checking, so the checker
+						// validates the post-fault state (context-switch
+						// TLB flushes are architecturally legal and must
+						// not trip it).
+						if cfg.Perturber != nil && len(moved) > 0 {
+							cfg.Perturber.OnMigration(st.clock, moved)
+						}
+						if cfg.Checker != nil {
+							if err := cfg.Checker.OnMigration(st.clock, placement); err != nil {
+								return nil, fmt.Errorf("sim: check after migration: %w", err)
+							}
+						}
+						// Clocks moved non-uniformly and this thread may
+						// run on a new core: reload the span's hoisted
+						// state, finish this event, then end the span.
+						migrated = true
+						core = placement[i]
+						h = hier[core]
+						ctr = system.Counters(core)
+						clock = st.clock // this thread may have been charged MigrationCost
+					}
 				}
 			}
-			tr, err := as.Translate(ev.Addr)
-			if err != nil {
-				return nil, fmt.Errorf("sim: thread %d: %w", i, err)
-			}
-			frame = tr.Frame
-			h.Insert(tr)
-			if placed != nil && !placed.test(uint64(tr.Frame)) {
-				system.PlaceFrame(uint64(tr.Frame), cfg.PageNode(tr.Page))
-				placed.set(uint64(tr.Frame))
-			}
-		}
 
-		if !nullDet {
-			det.OnAccess(i, ev.Addr)
-		}
+			// Periodic detection hook (HM). Because the scheduler always
+			// advances the minimum clock, st.clock is the global time
+			// watermark here. The scan charges every live thread the
+			// same cost; a uniform increment preserves the relative
+			// order of all (clock, id) keys, so the ready queue only
+			// shifts its keys (addAll) — and the span bound shifts by
+			// the same amount.
+			if scanDet {
+				if scanCost := det.MaybeScan(clock, tlbs); scanCost > 0 {
+					detectionCycles += scanCost
+					// The uniform charge below hits states[i] too: sync the
+					// hoisted clock first, reload it after.
+					st.idx, st.clock = idx, clock
+					for j := range states {
+						if other := &states[j]; !other.done {
+							other.clock += scanCost
+							detCtr[j] += scanCost
+						}
+					}
+					clock = st.clock
+					sched.addAll(scanCost)
+					ctr.Inc(metrics.DetectionSearches)
+					if clockBound != ^uint64(0) {
+						clockBound += scanCost
+					}
+				}
+			}
 
-		phys := uint64(frame)<<vm.PageShift | ev.Addr.Offset()
-		line := mem.Line(phys >> mem.LineShift)
-		if ev.Kind == trace.Load {
-			st.clock += system.Read(core, line, st.clock)
-		} else {
-			st.clock += system.Write(core, line, st.clock)
-		}
-		if cfg.Checker != nil {
-			if err := cfg.Checker.OnAccess(i, core, ev, frame); err != nil {
-				return nil, fmt.Errorf("sim: check after access %d (thread %d): %w", accesses, i, err)
+			accesses++
+
+			// Address translation through the TLB hierarchy of the
+			// thread's current core (page predecoded by the shard workers
+			// when the last window barrier saw this batch).
+			var page vm.Page
+			if prePages != nil {
+				page = prePages[idx-1]
+			} else {
+				page = ev.Addr.Page()
+			}
+			frame, where := h.Lookup(page)
+			// The TLBHits/TLBMisses counter banks are not touched here:
+			// the TLBs keep the same statistics themselves, so the banks
+			// are settled once from the hardware counts at result
+			// assembly instead of once per access.
+			switch where {
+			case tlb.HitL1:
+				clock++ // TLB access overlaps with L1 pipeline; 1 cycle
+			case tlb.HitL2:
+				// STLB hit: cheap refill, invisible to the OS (and hence
+				// to the detectors).
+				clock += tlb.STLBCost
+			default: // full miss: walk (HM) or trap (SM)
+				clock += missCost
+				if !nullDet {
+					if smCost := det.OnTLBMiss(i, page, tlbs); smCost > 0 {
+						clock += smCost
+						detectionCycles += smCost
+						detCtr[i] += smCost
+						ctr.Inc(metrics.DetectionSearches)
+					}
+				}
+				tr, err := as.Translate(ev.Addr)
+				if err != nil {
+					return nil, fmt.Errorf("sim: thread %d: %w", i, err)
+				}
+				frame = tr.Frame
+				h.Insert(tr)
+				if placed != nil && !placed.test(uint64(tr.Frame)) {
+					system.PlaceFrame(uint64(tr.Frame), cfg.PageNode(tr.Page))
+					placed.set(uint64(tr.Frame))
+				}
+			}
+
+			if accessDet {
+				det.OnAccess(i, ev.Addr)
+			}
+
+			phys := uint64(frame)<<vm.PageShift | ev.Addr.Offset()
+			line := mem.Line(phys >> mem.LineShift)
+			if ev.Kind == trace.Load {
+				clock += system.Read(core, line, clock)
+			} else {
+				clock += system.Write(core, line, clock)
+			}
+			if checkerOn {
+				if err := cfg.Checker.OnAccess(i, core, ev, frame); err != nil {
+					return nil, fmt.Errorf("sim: check after access %d (thread %d): %w", accesses, i, err)
+				}
+			}
+			if migrated || clock >= clockBound {
+				st.idx, st.clock = idx, clock
+				break
 			}
 		}
-		sched.fix(i)
+		if !removed {
+			pendingFix = i
+		}
 	}
 
 	// Assemble the result.
@@ -551,6 +722,17 @@ func Run(cfg Config, as *vm.AddressSpace, team *trace.Team) (*Result, error) {
 		}
 		bank := system.Counters(core)
 		bank.Add(metrics.DetectionCycles, detCtr[i])
+		// Settle the TLB counter banks from the hardware statistics: the
+		// engine counts a hit for an access resolved at either TLB level
+		// and a miss only when every level missed, which is exactly
+		// l1.hits + hierarchy.l2Hits and hierarchy.l2Misses (or l1.misses
+		// on single-level hierarchies).
+		bank.Add(metrics.TLBHits, hier[core].L1().Hits()+hier[core].L2Hits())
+		if hier[core].HasL2() {
+			bank.Add(metrics.TLBMisses, hier[core].L2Misses())
+		} else {
+			bank.Add(metrics.TLBMisses, hier[core].L1().Misses())
+		}
 		res.PerCore[core] = bank.Snapshot()
 		// hier is indexed by CORE; i is a thread index. (The totals were
 		// right even with hier[i] because placement is a permutation, but

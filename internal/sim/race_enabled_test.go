@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose ~15-20x slowdown puts the 256-core equivalence cell
+// past the CI race-stage timeout.
+const raceEnabled = true

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"sync"
+
+	"tlbmap/internal/trace"
+	"tlbmap/internal/vm"
+)
+
+// Deterministic intra-run sharding (DESIGN.md §14).
+//
+// The engine's commit loop is inherently serial: every simulated access can
+// touch remote L2s and L1s through the MESI protocol, the front-side-bus
+// ledger serializes bus transactions machine-wide, and HM scans read every
+// core's TLB at an exact global watermark. Interleaving any of that across
+// host threads would either change the event order (different Results) or
+// require speculative execution with rollback. What is *not* order-coupled
+// is the read-only decode work per trace batch: extracting the virtual page
+// of every memory event is a pure function of the immutable event array.
+//
+// Sharded mode therefore splits a run into quantum-epoch windows on the
+// simulated clock. At each window barrier the engine is quiescent — no span
+// in flight — and the shard workers fan out, each decoding the current
+// batches of its own contiguous thread range into per-thread scratch
+// (disjoint slots, no synchronization beyond the barrier). The commit loop
+// then replays the window serially in exact (clock, thread id) order,
+// consuming the predecoded pages for batches the barrier saw and falling
+// back to inline decode for batches refilled mid-window.
+//
+// Because workers only compute pure functions of immutable inputs into
+// disjoint outputs, the Result is byte-identical to the serial engine at
+// every worker count — there is nothing to merge beyond reading the scratch
+// slots in core order, which the commit loop does by construction.
+
+// DefaultShardWindow is the quantum-epoch length in simulated cycles
+// between shard barriers when Config.ShardWindow is zero.
+const DefaultShardWindow = 1 << 16
+
+// shardPre is one thread's predecoded batch: pages[k] is the virtual page
+// of the k-th event when that event is a memory access. seq identifies the
+// refill generation the decode belongs to; a batch refilled after the
+// barrier misses the window's decode and the engine falls back to inline
+// page extraction until the next barrier.
+type shardPre struct {
+	seq   int
+	pages []vm.Page
+}
+
+// shardExec is the sharded-mode state: the static thread partition and the
+// per-thread scratch slots.
+type shardExec struct {
+	window uint64
+	shards [][]int32
+	pre    []shardPre
+}
+
+// newShardExec partitions n threads into workers contiguous shards.
+// Shards are static: a migrated thread keeps its shard (decode is indexed
+// by thread, not core, so placement changes are irrelevant to it).
+func newShardExec(n, workers int, window uint64) *shardExec {
+	if workers > n {
+		workers = n
+	}
+	if window == 0 {
+		window = DefaultShardWindow
+	}
+	e := &shardExec{
+		window: window,
+		shards: make([][]int32, workers),
+		pre:    make([]shardPre, n),
+	}
+	for i := range e.pre {
+		e.pre[i].seq = -1
+	}
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
+		shard := make([]int32, 0, hi-lo)
+		for t := lo; t < hi; t++ {
+			shard = append(shard, int32(t))
+		}
+		e.shards[s] = shard
+	}
+	return e
+}
+
+// precompute is the window barrier: one worker per shard decodes the
+// current batch of every thread in its range. The engine is quiescent for
+// the duration (the commit loop called us between spans), so the thread
+// states are stable and each worker writes only its own threads' slots.
+func (e *shardExec) precompute(states []threadState) {
+	var wg sync.WaitGroup
+	for _, shard := range e.shards {
+		wg.Add(1)
+		go func(threads []int32) {
+			defer wg.Done()
+			for _, th := range threads {
+				st := &states[th]
+				p := &e.pre[th]
+				if st.done || !st.started || p.seq == st.batchSeq {
+					continue
+				}
+				evs := st.batch.Events
+				if cap(p.pages) < len(evs) {
+					p.pages = make([]vm.Page, len(evs))
+				}
+				p.pages = p.pages[:len(evs)]
+				for k := range evs {
+					if evs[k].Kind != trace.Compute {
+						p.pages[k] = evs[k].Addr.Page()
+					}
+				}
+				p.seq = st.batchSeq
+			}
+		}(shard)
+	}
+	wg.Wait()
+}
+
+// pages returns thread th's predecoded page array if it matches the
+// thread's current batch generation, nil otherwise.
+func (e *shardExec) pages(th, batchSeq int) []vm.Page {
+	if p := &e.pre[th]; p.seq == batchSeq {
+		return p.pages
+	}
+	return nil
+}

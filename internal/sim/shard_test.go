@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tlbmap/internal/comm"
+	"tlbmap/internal/tlb"
+	"tlbmap/internal/topology"
+	"tlbmap/internal/trace"
+)
+
+// TestShardWorkerInvariance drives the randomized scheduler workloads
+// through the sharded engine at several worker counts with a tiny window
+// (hundreds of barriers per run) and requires the full Result and the
+// retired-access stream to match the serial engine exactly. The config
+// cycle covers the null/SM/HM detectors, jitter, and migration churn — all
+// the paths the shard barrier interleaves with.
+func TestShardWorkerInvariance(t *testing.T) {
+	trials := 9
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(4200 + 7919*trial)
+		run := func(workers int) (*Result, *schedRecorder) {
+			as, team := schedWorkload(seed, 8)
+			cfg := schedConfig(trial, seed, false)
+			cfg.ShardWorkers = workers
+			cfg.ShardWindow = 512 // many barriers even on short runs
+			rec := &schedRecorder{}
+			cfg.Checker = rec
+			res, err := Run(cfg, as, team)
+			if err != nil {
+				t.Fatalf("trial %d (workers=%d): %v", trial, workers, err)
+			}
+			return res, rec
+		}
+		baseRes, baseRec := run(0)
+		for _, workers := range []int{2, 3, 8} {
+			res, rec := run(workers)
+			if !reflect.DeepEqual(baseRec.events, rec.events) {
+				t.Fatalf("trial %d workers=%d: retired-access stream diverged from serial",
+					trial, workers)
+			}
+			if !reflect.DeepEqual(baseRes, res) {
+				t.Fatalf("trial %d workers=%d: Result diverged from serial:\nserial  %+v\nsharded %+v",
+					trial, workers, baseRes, res)
+			}
+		}
+	}
+}
+
+// TestShardWorkerInvarianceManycore is the 256-core cell of the
+// equivalence matrix: a hierarchical manycore machine under the HM
+// detector, where shard partitions are widest and the scheduler runs its
+// heap representation. Worker counts that divide 256 unevenly cross the
+// shard boundaries through the middle of L2 domains.
+func TestShardWorkerInvarianceManycore(t *testing.T) {
+	if raceEnabled {
+		// ~12 minutes under the race detector's ~15-20x slowdown; the
+		// shard worker code races identically (and cheaply) under
+		// TestShardWorkerInvariance above.
+		t.Skip("256-core cell skipped under -race; covered by TestShardWorkerInvariance")
+	}
+	const n = 256
+	machine := topology.Manycore(n)
+	run := func(workers int, compiled bool) *Result {
+		as, team := oddWorkload(n)
+		cfg := Config{
+			Machine:      machine,
+			Detector:     comm.NewHMDetector(n, 50_000),
+			TLB:          tlb.Config{Entries: 32, Ways: 4},
+			ShardWorkers: workers,
+			ShardWindow:  2048,
+		}
+		var res *Result
+		var err error
+		if compiled {
+			res, err = RunSource(cfg, as, trace.Compile(team).NewSource())
+		} else {
+			res, err = Run(cfg, as, team)
+		}
+		if err != nil {
+			t.Fatalf("workers=%d compiled=%v: %v", workers, compiled, err)
+		}
+		return res
+	}
+	base := run(0, false)
+	for _, workers := range []int{2, 7, 16} {
+		for _, compiled := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers-%d-compiled-%v", workers, compiled), func(t *testing.T) {
+				if !reflect.DeepEqual(base, run(workers, compiled)) {
+					t.Fatal("Result diverged from the serial goroutine engine")
+				}
+			})
+		}
+	}
+}

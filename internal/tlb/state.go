@@ -110,5 +110,11 @@ func DecodeState(data []byte) (*TLB, []byte, error) {
 		}
 		t.setLen[s] = n
 	}
+	// Rebuild the page-residency index the hot paths resolve through.
+	for i := range t.flat {
+		if t.flat[i].valid {
+			t.indexPage(t.flat[i].page, i)
+		}
+	}
 	return t, data, nil
 }

@@ -108,6 +108,15 @@ type TLB struct {
 	// comparisons against empty sets without touching the entries.
 	setLen []int16
 
+	// idx[p] is 1 + the flat index of page p's entry while resident, 0
+	// otherwise. Virtual pages are handed out densely from page 1 by the
+	// vm bump allocator, so a flat slice (grown lazily with the largest
+	// page inserted) serves as the residency map, and every lookup-shaped
+	// path — Lookup, Peek, Contains, Invalidate, the same-page refresh of
+	// Insert — resolves in O(1) instead of scanning the set. Only victim
+	// selection on Insert still reads the set.
+	idx []int32
+
 	// pidx/pslot bind this TLB to a PresenceIndex (nil when standalone).
 	// Insert, Invalidate and Flush keep the index's bit for this TLB
 	// current; with no index attached each pays one nil comparison.
@@ -159,18 +168,31 @@ func (t *TLB) SetOf(p vm.Page) int {
 // elide pairwise set comparisons when either side is empty.
 func (t *TLB) SetLen(set int) int { return int(t.setLen[set]) }
 
+// resident returns the flat index of page p's entry, or -1.
+func (t *TLB) resident(p vm.Page) int {
+	if uint64(p) < uint64(len(t.idx)) {
+		return int(t.idx[p]) - 1
+	}
+	return -1
+}
+
+// indexPage records page p as resident at flat index ix.
+func (t *TLB) indexPage(p vm.Page, ix int) {
+	for uint64(len(t.idx)) <= uint64(p) {
+		t.idx = append(t.idx, 0)
+	}
+	t.idx[p] = int32(ix) + 1
+}
+
 // Lookup translates a page. On a hit it refreshes the entry's LRU state and
 // returns the frame. On a miss the caller must refill via Insert.
 func (t *TLB) Lookup(p vm.Page) (vm.Frame, bool) {
 	t.clock++
-	off := t.SetOf(p) * t.ways
-	set := t.flat[off : off+t.ways]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
-			set[i].lru = t.clock
-			t.hits++
-			return set[i].frame, true
-		}
+	if ix := t.resident(p); ix >= 0 {
+		e := &t.flat[ix]
+		e.lru = t.clock
+		t.hits++
+		return e.frame, true
 	}
 	t.misses++
 	return 0, false
@@ -180,19 +202,21 @@ func (t *TLB) Lookup(p vm.Page) (vm.Frame, bool) {
 // full. It returns the evicted page and whether an eviction happened.
 func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 	t.clock++
+	// Reuse the existing slot for the same page.
+	if ix := t.resident(tr.Page); ix >= 0 {
+		e := &t.flat[ix]
+		e.frame = tr.Frame
+		e.lru = t.clock
+		return 0, false
+	}
 	s := t.SetOf(tr.Page)
 	off := s * t.ways
 	set := t.flat[off : off+t.ways]
-	// Reuse an existing slot for the same page or an invalid slot.
 	victim := -1
 	for i := range set {
-		if set[i].valid && set[i].page == tr.Page {
-			set[i].frame = tr.Frame
-			set[i].lru = t.clock
-			return 0, false
-		}
-		if !set[i].valid && victim == -1 {
+		if !set[i].valid {
 			victim = i
+			break
 		}
 	}
 	if victim == -1 {
@@ -206,6 +230,7 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 		}
 		evicted, wasEvicted = set[victim].page, true
 		t.evictions++
+		t.idx[evicted] = 0
 		if t.pidx != nil {
 			t.pidx.remove(t.pslot, evicted)
 		}
@@ -213,6 +238,7 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 		t.setLen[s]++
 	}
 	set[victim] = entry{valid: true, page: tr.Page, frame: tr.Frame, lru: t.clock}
+	t.indexPage(tr.Page, off+victim)
 	if t.pidx != nil {
 		t.pidx.add(t.pslot, tr.Page)
 	}
@@ -223,11 +249,8 @@ func (t *TLB) Insert(tr vm.Translation) (evicted vm.Page, wasEvicted bool) {
 // state or the hit/miss statistics — the inspection path of the
 // TLB-consistency checker, which must not disturb what it validates.
 func (t *TLB) Peek(p vm.Page) (vm.Frame, bool) {
-	set := t.sets[t.SetOf(p)]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
-			return set[i].frame, true
-		}
+	if ix := t.resident(p); ix >= 0 {
+		return t.flat[ix].frame, true
 	}
 	return 0, false
 }
@@ -237,33 +260,24 @@ func (t *TLB) Peek(p vm.Page) (vm.Frame, bool) {
 // inspects only the page's set, costing Ways comparisons (the Θ(P) search
 // of Table I once the associativity is fixed).
 func (t *TLB) Contains(p vm.Page) bool {
-	off := t.SetOf(p) * t.ways
-	set := t.flat[off : off+t.ways]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
-			return true
-		}
-	}
-	return false
+	return t.resident(p) >= 0
 }
 
 // Invalidate drops the entry for a page if present (the OS invalidation on
 // page-table modification mentioned in Section IV-B). It reports whether an
 // entry was dropped.
 func (t *TLB) Invalidate(p vm.Page) bool {
-	s := t.SetOf(p)
-	set := t.sets[s]
-	for i := range set {
-		if set[i].valid && set[i].page == p {
-			set[i].valid = false
-			t.setLen[s]--
-			if t.pidx != nil {
-				t.pidx.remove(t.pslot, p)
-			}
-			return true
-		}
+	ix := t.resident(p)
+	if ix < 0 {
+		return false
 	}
-	return false
+	t.flat[ix].valid = false
+	t.idx[p] = 0
+	t.setLen[ix/t.ways]--
+	if t.pidx != nil {
+		t.pidx.remove(t.pslot, p)
+	}
+	return true
 }
 
 // Flush invalidates every entry (e.g. on a context switch without ASIDs).
@@ -273,8 +287,11 @@ func (t *TLB) Flush() {
 			continue
 		}
 		for i := range set {
-			if set[i].valid && t.pidx != nil {
-				t.pidx.remove(t.pslot, set[i].page)
+			if set[i].valid {
+				t.idx[set[i].page] = 0
+				if t.pidx != nil {
+					t.pidx.remove(t.pslot, set[i].page)
+				}
 			}
 			set[i].valid = false
 		}

@@ -1,0 +1,236 @@
+package trace
+
+import "fmt"
+
+// Source is the engine-facing supplier of event batches. Two
+// implementations exist: *Team (the reference token-passing path — one
+// goroutine per thread, batches handed over channels) and *Replay (flat
+// precompiled arrays, no goroutines). The engine drives either through the
+// same three calls, so every scheduling decision — batch boundaries,
+// barrier parking, done detection — is taken identically on both paths.
+type Source interface {
+	// NumThreads returns the number of threads in the workload.
+	NumThreads() int
+	// Start releases thread i for the first time and returns its first
+	// batch.
+	Start(i int) Batch
+	// Resume lets thread i run until its next yield and returns the batch
+	// it produced. The caller owns the returned Events slice only until
+	// the next Start/Resume of the same thread.
+	Resume(i int) Batch
+}
+
+// NumThreads returns the team size, making *Team a Source.
+func (tm *Team) NumThreads() int { return len(tm.Threads) }
+
+// mark records one batch boundary inside a thread's flat event stream:
+// the exclusive end offset plus the terminator the thread yielded with.
+// Replay reconstructs the exact batch sequence the goroutine produced —
+// same event counts, same empty barrier batches, same final Done batch —
+// so everything keyed on batch boundaries (fault-injection quantum hooks,
+// cancellation polls, barrier alignment) behaves identically on both paths.
+type mark struct {
+	end     int
+	barrier bool
+	done    bool
+}
+
+// Compiled is a workload compiled to flat form: one contiguous []Event per
+// thread plus the recorded batch boundaries. It is immutable after Compile
+// and safe to share between any number of concurrent Replay cursors, which
+// is what makes compile-once/replay-many cheap: the harness compiles each
+// benchmark kernel once and every (placement × repetition) job replays the
+// same arrays.
+type Compiled struct {
+	events [][]Event
+	marks  [][]mark
+}
+
+// NumThreads returns the number of threads in the compiled workload.
+func (c *Compiled) NumThreads() int { return len(c.events) }
+
+// NumEvents returns the total event count across all threads.
+func (c *Compiled) NumEvents() uint64 {
+	var n uint64
+	for _, evs := range c.events {
+		n += uint64(len(evs))
+	}
+	return n
+}
+
+// ThreadEvents returns thread i's full flat event stream. The slice
+// aliases compiled storage and must not be mutated.
+func (c *Compiled) ThreadEvents(i int) []Event { return c.events[i] }
+
+// Batches returns how many batches thread i yields during replay.
+func (c *Compiled) Batches(i int) int { return len(c.marks[i]) }
+
+// NewSource returns a fresh replay cursor positioned at the beginning.
+func (c *Compiled) NewSource() *Replay {
+	return &Replay{c: c, next: make([]int32, len(c.events))}
+}
+
+// Replay walks a Compiled workload, serving zero-copy subslices chunked
+// exactly at the recorded batch boundaries. A Replay is single-run state
+// (a few bytes of cursor per thread); allocate one per run with NewSource
+// or recycle it with Reset. Replaying performs no allocation, no goroutine
+// switches and no channel operations.
+type Replay struct {
+	c    *Compiled
+	next []int32 // per-thread index of the next mark to serve
+}
+
+// NumThreads returns the number of threads in the workload.
+func (r *Replay) NumThreads() int { return len(r.c.events) }
+
+// Start serves thread i's first batch. Identical to Resume; the separate
+// name satisfies Source and documents engine start-up.
+func (r *Replay) Start(i int) Batch { return r.Resume(i) }
+
+// Resume serves thread i's next recorded batch. It panics when called
+// after the thread's Done batch — the engine never resumes a finished
+// thread, so this indicates a driver bug.
+func (r *Replay) Resume(i int) Batch {
+	k := r.next[i]
+	ms := r.c.marks[i]
+	if int(k) >= len(ms) {
+		panic(fmt.Sprintf("trace: replay resumed thread %d past its Done batch", i))
+	}
+	r.next[i] = k + 1
+	m := ms[k]
+	start := 0
+	if k > 0 {
+		start = ms[k-1].end
+	}
+	return Batch{
+		Events:  r.c.events[i][start:m.end:m.end],
+		Barrier: m.barrier,
+		Done:    m.done,
+	}
+}
+
+// Reset rewinds every thread to its first batch so the Replay can drive
+// another run without reallocating.
+func (r *Replay) Reset() {
+	for i := range r.next {
+		r.next[i] = 0
+	}
+}
+
+// Compile runs every thread of the team to completion once, recording each
+// thread's event stream into flat contiguous storage. The team is consumed:
+// its goroutines run to completion here and it must not be reused.
+//
+// Threads are drained one barrier phase at a time in ascending thread
+// order, which is one legal serialization of the team (the engine
+// interleaves phases differently but — for kernels whose emitted stream
+// does not depend on cross-thread data timing within a phase — produces
+// the same per-thread streams; every kernel in internal/workload satisfies
+// this, enforced by the compiled-vs-goroutine differential tests). Kernels
+// that race on traced data within a phase may record a stream that differs
+// from a live-scheduled run; CompileChecked detects those, and the
+// goroutine path remains the fallback.
+func Compile(team *Team) *Compiled {
+	return compileOrder(team, false)
+}
+
+// CompileChecked compiles the workload twice — draining barrier phases in
+// ascending and in descending thread order — and fails if the recorded
+// streams differ, which proves the kernel's emissions depend on
+// cross-thread scheduling within a phase (a data race on traced arrays).
+// Such kernels must stay on the goroutine path. mk must build a fresh
+// team on every call.
+func CompileChecked(mk func() *Team) (*Compiled, error) {
+	asc := compileOrder(mk(), false)
+	desc := compileOrder(mk(), true)
+	if err := equalStreams(asc, desc); err != nil {
+		return nil, fmt.Errorf("trace: workload is schedule-dependent, keep the goroutine path: %w", err)
+	}
+	return asc, nil
+}
+
+func compileOrder(team *Team, reverse bool) *Compiled {
+	n := len(team.Threads)
+	c := &Compiled{
+		events: make([][]Event, n),
+		marks:  make([][]mark, n),
+	}
+	started := make([]bool, n)
+	atBarrier := make([]bool, n)
+	done := make([]bool, n)
+	alive := n
+	record := func(i int, b Batch) {
+		c.events[i] = append(c.events[i], b.Events...)
+		c.marks[i] = append(c.marks[i], mark{
+			end:     len(c.events[i]),
+			barrier: b.Barrier,
+			done:    b.Done,
+		})
+	}
+	// Drain one barrier phase per outer iteration: each alive thread runs
+	// until it parks at the barrier or finishes, then the barrier releases
+	// and the next phase begins.
+	for alive > 0 {
+		for k := 0; k < n; k++ {
+			i := k
+			if reverse {
+				i = n - 1 - k
+			}
+			if done[i] {
+				continue
+			}
+			atBarrier[i] = false
+			for {
+				var b Batch
+				if !started[i] {
+					started[i] = true
+					b = team.Start(i)
+				} else {
+					b = team.Resume(i)
+				}
+				record(i, b)
+				if b.Done {
+					done[i] = true
+					alive--
+					break
+				}
+				if b.Barrier {
+					atBarrier[i] = true
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+// equalStreams reports the first difference between two compiled
+// workloads, comparing both the flat event streams and the recorded batch
+// structure.
+func equalStreams(a, b *Compiled) error {
+	if len(a.events) != len(b.events) {
+		return fmt.Errorf("thread counts differ: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		ae, be := a.events[i], b.events[i]
+		if len(ae) != len(be) {
+			return fmt.Errorf("thread %d emitted %d events vs %d", i, len(ae), len(be))
+		}
+		for j := range ae {
+			if ae[j] != be[j] {
+				return fmt.Errorf("thread %d event %d differs: %v %#x vs %v %#x",
+					i, j, ae[j].Kind, uint64(ae[j].Addr), be[j].Kind, uint64(be[j].Addr))
+			}
+		}
+		am, bm := a.marks[i], b.marks[i]
+		if len(am) != len(bm) {
+			return fmt.Errorf("thread %d yielded %d batches vs %d", i, len(am), len(bm))
+		}
+		for j := range am {
+			if am[j] != bm[j] {
+				return fmt.Errorf("thread %d batch %d boundary differs: %+v vs %+v", i, j, am[j], bm[j])
+			}
+		}
+	}
+	return nil
+}

@@ -20,11 +20,31 @@
 # any case dropping below 75% of its committed throughput fails, so an
 # accidental hot-path regression is caught by CI instead of by the next
 # manual bench run.
+#
+# Every rendered file is stamped with the measuring host (CPU model + core
+# count) and commit. Absolute throughput is only comparable on the same
+# host: check compares ratios only when the committed host_id matches the
+# current machine, and prints the comparisons it skipped otherwise, so a
+# clone benched on different hardware reports "skipped" instead of a bogus
+# regression (or a silent pass). Frozen baseline blocks carry their own
+# host_id for the same reason — a baseline measured on an unrecorded host
+# is documentation, not a gate.
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT="BENCH_engine.json"
 SERVE_OUT="BENCH_serve.json"
+
+host_id() {
+	_model="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+	echo "${_model:-unknown-cpu} x$(nproc 2>/dev/null || echo 1)"
+}
+
+commit_id() {
+	_c="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	git diff --quiet HEAD 2>/dev/null || _c="$_c-dirty"
+	echo "$_c"
+}
 
 # The fixed fleet shape both modes run, so committed and current numbers
 # are comparable: 256 connections over 16 tenants, 1000 events each.
@@ -52,8 +72,22 @@ serve_best() {
 	echo "$_best"
 }
 
+# committed_host_id FILE prints the top-level host_id of a committed
+# result file ("" when the file predates host stamping).
+committed_host_id() {
+	sed -n 's/.*"host_id": "\(.*\)",*$/\1/p' "$1" | head -1
+}
+
 if [ "${1:-}" = "check" ]; then
 	[ -f "$OUT" ] || { echo "bench check: no committed $OUT" >&2; exit 1; }
+	HOST="$(host_id)"
+	GATE=1
+	COMMITTED_HOST="$(committed_host_id "$OUT")"
+	if [ "$COMMITTED_HOST" != "$HOST" ]; then
+		GATE=0
+		echo "bench check: committed numbers measured on '${COMMITTED_HOST:-unrecorded host}'," >&2
+		echo "bench check: current host is '$HOST' — comparisons are informational, gate skipped" >&2
+	fi
 	RAW="$(mktemp)"
 	trap 'rm -f "$RAW"' EXIT
 	echo "== bench check: engine/mapper/matrix vs committed $OUT ==" >&2
@@ -66,7 +100,7 @@ if [ "${1:-}" = "check" ]; then
 	# Pass 1 reads the committed live "benchmarks" section (the frozen
 	# baselines nest under "frozen", so this key is unique); pass 2 keeps
 	# each current case's best events/sec across -count repetitions.
-	awk '
+	awk -v gate="$GATE" '
 		FNR == NR {
 			if ($0 ~ /"benchmarks": \[/) { live = 1; next }
 			if (live && $0 ~ /^[[:space:]]*\]/) live = 0
@@ -93,22 +127,28 @@ if [ "${1:-}" = "check" ]; then
 					continue
 				}
 				ratio = cur[name] / base[name]
-				printf "%-24s %12.0f ev/s  committed %12.0f  (%.2fx)\n", \
-					name, cur[name], base[name], ratio
-				if (ratio < 0.75) {
+				printf "%-40s %12.0f ev/s  committed %12.0f  (%.2fx)%s\n", \
+					name, cur[name], base[name], ratio, (gate ? "" : "  [skipped: different host]")
+				if (gate && ratio < 0.75) {
 					printf "bench check FAILED: %s regressed to %.0f%% of committed throughput\n", \
 						name, ratio * 100
 					fail = 1
 				}
 			}
 			if (fail) exit 1
-			print "bench check passed"
+			print (gate ? "bench check passed" : "bench check skipped (host mismatch); no gate applied")
 		}' "$OUT" "$RAW" >&2
 
 	[ -f "$SERVE_OUT" ] || { echo "bench check: no committed $SERVE_OUT" >&2; exit 1; }
+	SERVE_GATE=1
+	SERVE_HOST="$(committed_host_id "$SERVE_OUT")"
+	if [ "$SERVE_HOST" != "$HOST" ]; then
+		SERVE_GATE=0
+		echo "bench check: committed $SERVE_OUT from '${SERVE_HOST:-unrecorded host}' — gate skipped" >&2
+	fi
 	echo "== bench check: mapperd serving vs committed $SERVE_OUT ==" >&2
 	SERVE_LINE="$(serve_best 3)"
-	echo "$SERVE_LINE" | awk -v committed="$(cat "$SERVE_OUT")" '
+	echo "$SERVE_LINE" | awk -v committed="$(cat "$SERVE_OUT")" -v gate="$SERVE_GATE" '
 		{
 			for (i = 1; i <= NF; i++)
 				if (split($i, kv, "=") == 2) cur[kv[1]] = kv[2] + 0
@@ -123,15 +163,16 @@ if [ "${1:-}" = "check" ]; then
 			for (k in base) {
 				if (k == "conns" || k ~ /_us$/) continue # shape + latency: informational
 				ratio = cur[k] / base[k]
-				printf "%-18s %12.0f  committed %12.0f  (%.2fx)\n", k, cur[k], base[k], ratio
-				if (ratio < 0.75) {
+				printf "%-18s %12.0f  committed %12.0f  (%.2fx)%s\n", k, cur[k], base[k], ratio, \
+					(gate ? "" : "  [skipped: different host]")
+				if (gate && ratio < 0.75) {
 					printf "bench check FAILED: mapperd %s regressed to %.0f%% of committed throughput\n", \
 						k, ratio * 100
 					fail = 1
 				}
 			}
 			if (fail) exit 1
-			print "serve bench check passed"
+			print (gate ? "serve bench check passed" : "serve bench check skipped (host mismatch)")
 		}' >&2
 	exit 0
 fi
@@ -142,40 +183,50 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "== micro: engine + detectors + matrix ==" >&2
 go test -run '^$' -bench 'BenchmarkEngine|BenchmarkDetectors|BenchmarkSparseMatrix' -benchtime 2s \
-	./internal/sim ./internal/comm | tee -a "$RAW" >&2
+	-benchmem ./internal/sim ./internal/comm | tee -a "$RAW" >&2
 
 echo "== micro: multilevel mapper ==" >&2
 go test -run '^$' -bench BenchmarkMultilevel -benchtime 2x \
-	./internal/mapping | tee -a "$RAW" >&2
+	-benchmem ./internal/mapping | tee -a "$RAW" >&2
 
 echo "== end-to-end: parallel suite (count=$COUNT) ==" >&2
 go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x -count "$COUNT" \
 	| tee -a "$RAW" >&2
 
 # Render one JSON object per benchmark line. Repeated names (from -count)
-# keep the minimum ns/op and the maximum events/sec. The frozen baselines
-# are the "before" of each optimization PR, kept verbatim so the speedups
-# stay reviewable next to the current numbers (and so "check" mode can rely
-# on the top-level "benchmarks" key being unique).
-awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+# keep the minimum ns/op, the maximum events/sec, and the minimum
+# bytes/allocs per op. The frozen baselines are the "before" of each
+# optimization PR, kept verbatim with the host they were measured on, so
+# the speedups stay reviewable next to the current numbers (and so "check"
+# mode can rely on the top-level "benchmarks" key being unique). Baselines
+# from before host stamping carry "unrecorded"; comparisons against them
+# are qualitative only.
+awk -v host="$(go env GOOS)/$(go env GOARCH)" -v hostid="$(host_id)" -v commit="$(commit_id)" '
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		ns = ""; evs = ""
+		ns = ""; evs = ""; bpo = ""; apo = ""
 		for (i = 2; i < NF; i++) {
 			if ($(i + 1) == "ns/op") ns = $i
 			if ($(i + 1) == "events/sec") evs = $i
+			if ($(i + 1) == "B/op") bpo = $i
+			if ($(i + 1) == "allocs/op") apo = $i
 		}
 		if (ns == "") next
 		if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) best_ns[name] = ns
 		if (evs != "" && (!(name in best_evs) || evs + 0 > best_evs[name] + 0)) best_evs[name] = evs
+		if (bpo != "" && (!(name in best_bpo) || bpo + 0 < best_bpo[name] + 0)) best_bpo[name] = bpo
+		if (apo != "" && (!(name in best_apo) || apo + 0 < best_apo[name] + 0)) best_apo[name] = apo
 		if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 	}
 	END {
 		printf "{\n  \"host\": \"%s\",\n", host
+		printf "  \"host_id\": \"%s\",\n", hostid
+		printf "  \"commit\": \"%s\",\n", commit
 		printf "  \"baselines\": [\n"
 		printf "    {\n"
 		printf "      \"engine\": \"pre-overhaul (linear pick, map-backed hot state), commit f16175d\",\n"
+		printf "      \"host_id\": \"unrecorded\",\n"
 		printf "      \"frozen\": [\n"
 		printf "        {\"name\": \"BenchmarkParallelSuite/workers1\", \"ns_per_op\": 801345119},\n"
 		printf "        {\"name\": \"BenchmarkParallelSuite/workers2\", \"ns_per_op\": 710678623},\n"
@@ -184,6 +235,7 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 		printf "      ]\n    },\n"
 		printf "    {\n"
 		printf "      \"engine\": \"pre-presence-index (pairwise HM scan on the host), commit 089ac8f\",\n"
+		printf "      \"host_id\": \"unrecorded\",\n"
 		printf "      \"frozen\": [\n"
 		printf "        {\"name\": \"BenchmarkEngine/null\", \"ns_per_op\": 35141989, \"events_per_sec\": 6993351},\n"
 		printf "        {\"name\": \"BenchmarkEngine/SM\", \"ns_per_op\": 37496853, \"events_per_sec\": 6554157},\n"
@@ -191,6 +243,16 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 		printf "        {\"name\": \"BenchmarkEngine/oracle\", \"ns_per_op\": 40159467, \"events_per_sec\": 6119609},\n"
 		printf "        {\"name\": \"BenchmarkDetectors/HM/scan-full\", \"ns_per_op\": 8945, \"events_per_sec\": 111793},\n"
 		printf "        {\"name\": \"BenchmarkDetectors/HM/scan-sparse\", \"ns_per_op\": 776.8, \"events_per_sec\": 1287321}\n"
+		printf "      ]\n    },\n"
+		printf "    {\n"
+		printf "      \"engine\": \"pre-compile-and-replay (goroutine token passing, per-event apply), commit b792496\",\n"
+		printf "      \"host_id\": \"Intel(R) Xeon(R) Processor @ 2.10GHz x1\",\n"
+		printf "      \"note\": \"best of 3, interleaved with the current numbers on the same machine\",\n"
+		printf "      \"frozen\": [\n"
+		printf "        {\"name\": \"BenchmarkEngine/null\", \"ns_per_op\": 37849446, \"events_per_sec\": 6493109, \"bytes_per_op\": 4022553, \"allocs_per_op\": 385},\n"
+		printf "        {\"name\": \"BenchmarkEngine/SM\", \"ns_per_op\": 39061100, \"events_per_sec\": 6291693, \"bytes_per_op\": 4030328, \"allocs_per_op\": 421},\n"
+		printf "        {\"name\": \"BenchmarkEngine/HM\", \"ns_per_op\": 67223222, \"events_per_sec\": 3655887, \"bytes_per_op\": 4030296, \"allocs_per_op\": 421},\n"
+		printf "        {\"name\": \"BenchmarkEngine/oracle\", \"ns_per_op\": 41759291, \"events_per_sec\": 5885168, \"bytes_per_op\": 4060088, \"allocs_per_op\": 391}\n"
 		printf "      ]\n    }\n"
 		printf "  ],\n"
 		printf "  \"benchmarks\": [\n"
@@ -198,6 +260,8 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 			name = order[i]
 			printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, best_ns[name]
 			if (name in best_evs) printf ", \"events_per_sec\": %s", best_evs[name]
+			if (name in best_bpo) printf ", \"bytes_per_op\": %s", best_bpo[name]
+			if (name in best_apo) printf ", \"allocs_per_op\": %s", best_apo[name]
 			printf "}%s\n", (i < n ? "," : "")
 		}
 		printf "  ]\n}\n"
@@ -206,9 +270,11 @@ awk -v host="$(go env GOOS)/$(go env GOARCH)" '
 echo "wrote $OUT" >&2
 
 echo "== serving: mapperd selftest (best of $COUNT) ==" >&2
-serve_best "$COUNT" | awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+serve_best "$COUNT" | awk -v host="$(go env GOOS)/$(go env GOARCH)" -v hostid="$(host_id)" -v commit="$(commit_id)" '
 	{
 		printf "{\n  \"host\": \"%s\",\n", host
+		printf "  \"host_id\": \"%s\",\n", hostid
+		printf "  \"commit\": \"%s\",\n", commit
 		printf "  \"fleet\": {\"tenants\": 16, \"threads\": 8, \"events_per_conn\": 1000, \"batch\": 50, \"query_every\": 4},\n"
 		printf "  \"serving\": {"
 		out = ""
