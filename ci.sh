@@ -47,6 +47,9 @@ scripts/bench.sh check
 go test -run '^$' -bench BenchmarkDetectors -benchtime 1x ./internal/comm >/dev/null
 go test . -run '^$' -bench BenchmarkParallelSuite -benchtime 1x >/dev/null
 go test -run 'TestSteadyStateZeroAllocs|TestReplaySteadyStateZeroAllocs' ./internal/sim
+# The serve-plane analogue: the wire hot path (parse, batch copy, enqueue,
+# response build) must stay allocation-free per event at steady state.
+go test -run 'TestIngestSteadyStateZeroAllocs' ./internal/serve
 
 # Shard-determinism smoke: the sharded engine must produce byte-identical
 # Results to the serial goroutine engine at every worker count. The small

@@ -10,6 +10,7 @@
 //	mapperd [-addr HOST:PORT] [-shards N] [-queue-cap N] [-deadline D]
 //	        [-faults SPEC] [-fault-seed N]
 //	        [-dir PATH] [-sync always|interval|never] [-snapshot-every N]
+//	        [-recovery-workers N]
 //	mapperd -selftest [-conns N] [-tenants N] [-threads N] [-events N]
 //	        [-batch N] [-query-every N] [-seed N] [-reconnect] [-dir PATH]
 //	mapperd -verify-recovery -dir PATH
@@ -67,10 +68,11 @@ func main() {
 		faults    = flag.String("faults", "", "fault spec armed on the ingest path (sampleloss[:rate],shootdown[:rate])")
 		faultSeed = flag.Int64("fault-seed", 1, "fault injection seed")
 
-		dir       = flag.String("dir", "", "durable state directory (empty = in-memory only)")
-		syncSpec  = flag.String("sync", "always", "WAL sync policy: always|interval|never")
-		snapEvery = flag.Int("snapshot-every", 0, "snapshot+compact every N applied events (0 = default 4096)")
-		verify    = flag.Bool("verify-recovery", false, "recover every tenant from -dir, print a summary, and exit")
+		dir        = flag.String("dir", "", "durable state directory (empty = in-memory only)")
+		syncSpec   = flag.String("sync", "always", "WAL sync policy: always|interval|never")
+		snapEvery  = flag.Int("snapshot-every", 0, "snapshot+compact every N applied events (0 = default 4096)")
+		recWorkers = flag.Int("recovery-workers", 0, "tenants recovered in parallel on startup (0 = GOMAXPROCS)")
+		verify     = flag.Bool("verify-recovery", false, "recover every tenant from -dir, print a summary, and exit")
 
 		selftest   = flag.Bool("selftest", false, "run the synthetic client fleet against an in-process daemon and exit")
 		conns      = flag.Int("conns", 256, "selftest: fleet size")
@@ -97,9 +99,10 @@ func main() {
 		QueueCap:      *queueCap,
 		QueryDeadline: *deadline,
 		Faults:        plan,
-		Dir:           *dir,
-		Sync:          policy,
-		SnapshotEvery: *snapEvery,
+		Dir:             *dir,
+		Sync:            policy,
+		SnapshotEvery:   *snapEvery,
+		RecoveryWorkers: *recWorkers,
 	}
 
 	if *verify {

@@ -102,14 +102,15 @@ func decodeWALRecord(data []byte, threads int) (source string, srcSeq uint64, ev
 
 // --- tenant state snapshot codec ---
 
-// encodeStateLocked serializes the full detector state. Caller holds
-// t.mu, so the encoding is a consistent cut: appliedSeq names the last
-// batch whose effects are included, and everything that shapes future
+// encodeStateLocked serializes the full detector state, appending to buf
+// (callers on the checkpoint cadence pass a reused scratch buffer). Caller
+// holds t.mu, so the encoding is a consistent cut: appliedSeq names the
+// last batch whose effects are included, and everything that shapes future
 // behaviour (matrix cells, TLB slots with their LRU timestamps and
 // clocks, online-mapper confidence, PRNG states, the applied-side dedup
 // map) is in the payload.
-func (t *tenant) encodeStateLocked() []byte {
-	buf := binary.LittleEndian.AppendUint64(nil, t.appliedSeq)
+func (t *tenant) encodeStateLocked(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, t.appliedSeq)
 	buf = binary.LittleEndian.AppendUint64(buf, t.applied.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, t.lost.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, t.storms.Load())
@@ -279,6 +280,14 @@ func (t *tenant) openDurable(cfg Config) error {
 	// A tail truncated below the snapshot must not recycle sequence
 	// numbers the snapshot already covers.
 	l.Reserve(t.appliedSeq + 1)
+	if cfg.Sync == wal.SyncAlways {
+		// Group commit (see commit.go): appends are buffered and acks wait
+		// for a covering fsync. Everything that survived recovery is on
+		// disk by definition, so the ack horizon starts at the log tail.
+		t.groupCommit = true
+	}
+	t.lastAppend = l.LastSeq()
+	t.ackedDurable = t.lastAppend
 	t.sources = make(map[string]uint64, len(t.appliedSources))
 	for s, seq := range t.appliedSources {
 		t.sources[s] = seq
@@ -339,7 +348,8 @@ func (t *tenant) checkpoint() error {
 	defer t.snapMu.Unlock()
 	t.mu.Lock()
 	seq := t.appliedSeq
-	buf := t.encodeStateLocked()
+	t.snapBuf = t.encodeStateLocked(t.snapBuf[:0])
+	buf := t.snapBuf
 	t.mu.Unlock()
 	if err := wal.WriteBlobAtomic(filepath.Join(t.dir, "snapshot"), buf); err != nil {
 		return fmt.Errorf("serve: tenant %q: snapshot: %w", t.id, err)

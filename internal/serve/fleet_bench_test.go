@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"tlbmap/internal/serve/loadgen"
+)
+
+// BenchmarkSelftestFleet is the in-process twin of `mapperd -selftest`:
+// the same fleet shape (256 conns, 16 tenants, pipelined loadgen) driven
+// over real TCP against an in-memory server. One op is one complete fleet
+// run. Its value is profiling — `-cpuprofile` on this benchmark shows
+// where serving time goes without crossing a process boundary; the
+// committed serving number still comes from the selftest binary.
+func BenchmarkSelftestFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{Shards: 16, QueueCap: 256})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Serve(l) }()
+		target := l.Addr().String()
+		b.StartTimer()
+		report, err := loadgen.Run(loadgen.Options{
+			Conns: 256, Tenants: 16, Threads: 8,
+			EventsPerConn: 1000, Batch: 50, QueryEvery: 4, Seed: 1,
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", target) },
+		})
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report
+		l.Close()
+		<-done
+		s.Drain(context.Background())
+		b.StartTimer()
+	}
+}

@@ -8,8 +8,9 @@ package loadgen
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"net"
 	"strconv"
 	"strings"
@@ -19,6 +20,14 @@ import (
 
 	"tlbmap/internal/runner"
 	"tlbmap/internal/stats"
+)
+
+// Wire fragments the hot loop compares against without allocating.
+var (
+	okPrefix    = []byte("OK")
+	queryLine   = []byte("Q\n")
+	byeLine     = []byte("BYE\n")
+	helloPrefix = "OK seq="
 )
 
 // Options configures one fleet run. Zero values select the defaults noted.
@@ -59,6 +68,15 @@ type Options struct {
 	// reads the server's acknowledged sequence and resumes, so the run
 	// finishes with every event applied exactly once.
 	Reconnect bool
+	// Pipeline is how many requests each connection keeps in flight
+	// before reading their responses (default 8; 1 = strict
+	// request/response). The protocol is strictly ordered, so responses
+	// are matched FIFO; a pipelined fleet amortizes one write+read
+	// syscall pair over the whole window on both sides of the socket.
+	// Sequenced (Reconnect) sessions always run strict, because resuming
+	// a half-acknowledged window would blur what the drop injection is
+	// there to test.
+	Pipeline int
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +111,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Reconnect && o.Retries == 0 {
 		o.Retries = 3
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 8
+	}
+	if o.Reconnect {
+		o.Pipeline = 1
 	}
 	return o
 }
@@ -139,12 +163,19 @@ func Run(o Options) (Report, error) {
 		latencies                      []time.Duration
 		wg                             sync.WaitGroup
 	)
+	// Synthesize every connection's conversation before starting the
+	// clock: the reported window measures shipping and serving, not
+	// request generation.
+	plans := make([]*plan, o.Conns)
+	for i := range plans {
+		plans[i] = prepare(o, i)
+	}
 	start := time.Now()
 	for i := 0; i < o.Conns; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lat, ev, q, er, err := drive(o, i)
+			lat, ev, q, er, err := drive(o, plans[i])
 			events.Add(ev)
 			queries.Add(q)
 			errs.Add(er)
@@ -183,7 +214,7 @@ func Run(o Options) (Report, error) {
 // exponentially growing, rng-jittered delay between them. The jitter comes
 // from the connection's own seeded stream, so a herd of clients hitting a
 // restarting daemon spreads out — and the same seed reproduces the spread.
-func dialBackoff(o Options, rng *rand.Rand) (net.Conn, error) {
+func dialBackoff(o Options, rng *randv2.Rand) (net.Conn, error) {
 	delay := o.Backoff
 	for attempt := 0; ; attempt++ {
 		conn, err := o.Dial()
@@ -198,56 +229,88 @@ func dialBackoff(o Options, rng *rand.Rand) (net.Conn, error) {
 	}
 }
 
-// drive runs one connection's whole conversation and returns its query
-// latencies and counts. A non-nil error means the conversation ended
-// early (server hangup, IO failure). With Reconnect set the conversation
-// is sequenced and survives — in fact deliberately injects — a dropped
-// connection mid-stream.
-func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64, err error) {
-	tenant := fmt.Sprintf("tenant-%03d", i%o.Tenants)
-	source := ""
-	if o.Reconnect {
-		source = fmt.Sprintf("conn-%04d", i)
-	}
-	rng := rand.New(rand.NewSource(runner.SeedN(o.Seed, i, "loadgen")))
+// plan is one connection's pre-synthesized conversation: identity, seeded
+// rng, and every request line as ready-to-ship wire bytes.
+type plan struct {
+	tenant, source string
+	hello          []byte
+	rng            *randv2.Rand
+	lines          [][]byte
+	sizes          []int
+	dropAt         int
+	dropAfterWrite bool
+}
 
-	// Generate every batch body up front, before any retry/drop draws, so
-	// the sample stream a connection ships is a function of (Seed, i)
-	// alone — a resumed batch is byte-identical to its first transmission.
+// prepare builds connection i's plan. Every batch line is generated up
+// front — full wire bytes including the "E" prefix, the batch number on
+// sequenced sessions, and the trailing newline — before any retry/drop
+// draws, so the sample stream a connection ships is a function of
+// (Seed, i) alone and a resumed batch is byte-identical to its first
+// transmission. Shipping a batch is then a single buffer write, no
+// per-event formatting.
+func prepare(o Options, i int) *plan {
+	p := &plan{tenant: fmt.Sprintf("tenant-%03d", i%o.Tenants), dropAt: -1}
+	if o.Reconnect {
+		p.source = fmt.Sprintf("conn-%04d", i)
+	}
+	seed := uint64(runner.SeedN(o.Seed, i, "loadgen"))
+	p.rng = randv2.New(randv2.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	p.hello = fmt.Appendf(nil, "HELLO %s %d", p.tenant, o.Threads)
+	if p.source != "" {
+		p.hello = append(append(p.hello, ' '), p.source...)
+	}
+	p.hello = append(p.hello, '\n')
+
 	nbatches := (o.EventsPerConn + o.Batch - 1) / o.Batch
-	bodies := make([]string, nbatches)
-	sizes := make([]int, nbatches)
-	var b strings.Builder
+	p.lines = make([][]byte, nbatches)
+	p.sizes = make([]int, nbatches)
 	sent := 0
-	for bi := range bodies {
+	for bi := range p.lines {
 		n := o.Batch
 		if rest := o.EventsPerConn - sent; n > rest {
 			n = rest
 		}
-		b.Reset()
+		line := append([]byte(nil), 'E')
+		if p.source != "" {
+			line = append(line, ' ')
+			line = strconv.AppendUint(line, uint64(bi+1), 10)
+		}
 		for k := 0; k < n; k++ {
 			// Neighbor pattern: thread t's 96-page region starts at
 			// t*64, so it shares 32 pages with thread t+1's region.
-			thread := rng.Intn(o.Threads)
-			page := uint64(thread)*64 + uint64(rng.Intn(96))
-			b.WriteByte(' ')
-			b.WriteString(strconv.Itoa(thread))
-			b.WriteByte(':')
-			b.WriteString(strconv.FormatUint(page, 10))
+			thread := p.rng.IntN(o.Threads)
+			page := uint64(thread)*64 + uint64(p.rng.IntN(96))
+			line = append(line, ' ')
+			line = strconv.AppendInt(line, int64(thread), 10)
+			line = append(line, ':')
+			line = strconv.AppendUint(line, page, 10)
 		}
-		bodies[bi] = b.String()
-		sizes[bi] = n
+		p.lines[bi] = append(line, '\n')
+		p.sizes[bi] = n
 		sent += n
 	}
 	// The injected failure point: drop the connection just as batch dropAt
 	// would be shipped. Half the time the batch is written first and the
 	// ack abandoned (the lost-ack case — the server may have applied it),
 	// so resume exercises both the HELLO seq= skip and a clean resend.
-	dropAt, dropAfterWrite := -1, false
 	if o.Reconnect && nbatches > 1 {
-		dropAt = rng.Intn(nbatches)
-		dropAfterWrite = rng.Intn(2) == 0
+		p.dropAt = p.rng.IntN(nbatches)
+		p.dropAfterWrite = p.rng.IntN(2) == 0
 	}
+	return p
+}
+
+// drive runs one connection's whole conversation and returns its query
+// latencies and counts. A non-nil error means the conversation ended
+// early (server hangup, IO failure). With Reconnect set the conversation
+// is sequenced and survives — in fact deliberately injects — a dropped
+// connection mid-stream.
+func drive(o Options, p *plan) (lat []time.Duration, events, queries, errs uint64, err error) {
+	source, rng := p.source, p.rng
+	lines, sizes := p.lines, p.sizes
+	nbatches := len(lines)
+	dropAt, dropAfterWrite := p.dropAt, p.dropAfterWrite
 
 	var (
 		conn net.Conn
@@ -259,21 +322,21 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 			conn.Close()
 		}
 	}()
-	roundTrip := func(line string) (string, error) {
-		if _, err := w.WriteString(line); err != nil {
-			return "", err
-		}
-		if err := w.WriteByte('\n'); err != nil {
-			return "", err
+	// roundTrip ships one prebuilt request line (newline included) and
+	// returns the response without its newline. The returned slice aliases
+	// the read buffer: it is only valid until the next roundTrip.
+	roundTrip := func(line []byte) ([]byte, error) {
+		if _, err := w.Write(line); err != nil {
+			return nil, err
 		}
 		if err := w.Flush(); err != nil {
-			return "", err
+			return nil, err
 		}
-		resp, err := rd.ReadString('\n')
+		resp, err := rd.ReadSlice('\n')
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return strings.TrimSuffix(resp, "\n"), nil
+		return bytes.TrimSuffix(resp, []byte("\n")), nil
 	}
 	// connect (re)dials, re-HELLOs, and returns the server's acknowledged
 	// batch number for this source (always 0 on unsourced sessions).
@@ -285,23 +348,26 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 		if conn != nil {
 			conn.Close()
 		}
-		conn, rd, w = c, bufio.NewReader(c), bufio.NewWriter(c)
-		hello := fmt.Sprintf("HELLO %s %d", tenant, o.Threads)
-		if source != "" {
-			hello += " " + source
+		// The largest response is a query's placement list (~a dozen bytes
+		// per thread); size the read buffer for it instead of paying a
+		// fixed 64KB per connection.
+		rsz := 4096
+		if n := 256 + 12*o.Threads; n > rsz {
+			rsz = n
 		}
-		resp, err := roundTrip(hello)
+		conn, rd, w = c, bufio.NewReaderSize(c, rsz), bufio.NewWriter(c)
+		resp, err := roundTrip(p.hello)
 		if err != nil {
 			return 0, err
 		}
 		if source != "" {
-			acked, ok := strings.CutPrefix(resp, "OK seq=")
+			acked, ok := strings.CutPrefix(string(resp), helloPrefix)
 			if !ok {
 				return 0, fmt.Errorf("loadgen: HELLO: %s", resp)
 			}
 			return strconv.ParseUint(acked, 10, 64)
 		}
-		if !strings.HasPrefix(resp, "OK") {
+		if !bytes.HasPrefix(resp, okPrefix) {
 			return 0, fmt.Errorf("loadgen: HELLO: %s", resp)
 		}
 		return 0, nil
@@ -321,17 +387,81 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 		}
 	}
 	skipAcked(acked)
+
+	// Pipelined mode (unsourced sessions): write up to Pipeline request
+	// lines — E batches plus their cadenced queries — flush once, then
+	// read the window's responses in order (the protocol is strictly
+	// ordered, so matching is FIFO). One write+read syscall pair on each
+	// side of the socket covers the whole window. Query latency is
+	// measured from the window flush — the moment the request actually
+	// hits the socket — to its response arriving.
+	if o.Pipeline > 1 {
+		type pending struct {
+			size  int // events credited if acked (0 for a query)
+			query bool
+		}
+		window := make([]pending, 0, o.Pipeline+1)
+		drain := func() error {
+			if len(window) == 0 {
+				return nil
+			}
+			flushedAt := time.Now()
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			for _, p := range window {
+				resp, err := rd.ReadSlice('\n')
+				if err != nil {
+					return err
+				}
+				resp = bytes.TrimSuffix(resp, []byte("\n"))
+				switch {
+				case !bytes.HasPrefix(resp, okPrefix):
+					errs++
+				case p.query:
+					lat = append(lat, time.Since(flushedAt))
+					queries++
+				default:
+					events += uint64(p.size)
+				}
+			}
+			window = window[:0]
+			return nil
+		}
+		for bi < nbatches {
+			if _, werr := w.Write(lines[bi]); werr != nil {
+				return lat, events, queries, errs, werr
+			}
+			window = append(window, pending{size: sizes[bi]})
+			bi++
+			if o.QueryEvery > 0 && bi%o.QueryEvery == 0 {
+				if _, werr := w.Write(queryLine); werr != nil {
+					return lat, events, queries, errs, werr
+				}
+				window = append(window, pending{query: true})
+			}
+			if len(window) >= o.Pipeline {
+				if derr := drain(); derr != nil {
+					return lat, events, queries, errs, derr
+				}
+			}
+		}
+		if derr := drain(); derr != nil {
+			return lat, events, queries, errs, derr
+		}
+		if _, err := roundTrip(byeLine); err != nil {
+			return lat, events, queries, errs, err
+		}
+		return lat, events, queries, errs, nil
+	}
+
 	retries := 0
 	for bi < nbatches {
-		line := "E" + bodies[bi]
-		if source != "" {
-			line = "E " + strconv.FormatUint(uint64(bi+1), 10) + bodies[bi]
-		}
+		line := lines[bi]
 		if bi == dropAt {
 			dropAt = -1
 			if dropAfterWrite {
-				w.WriteString(line)
-				w.WriteByte('\n')
+				w.Write(line)
 				w.Flush()
 			}
 			acked, err := connect()
@@ -355,7 +485,7 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 			skipAcked(acked)
 			continue
 		}
-		if strings.HasPrefix(resp, "OK") {
+		if bytes.HasPrefix(resp, okPrefix) {
 			events += uint64(sizes[bi])
 			retries = 0
 		} else {
@@ -375,11 +505,11 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 		bi++
 		if o.QueryEvery > 0 && bi%o.QueryEvery == 0 {
 			qStart := time.Now()
-			resp, err := roundTrip("Q")
+			resp, err := roundTrip(queryLine)
 			if err != nil {
 				return lat, events, queries, errs, err
 			}
-			if strings.HasPrefix(resp, "OK") {
+			if bytes.HasPrefix(resp, okPrefix) {
 				lat = append(lat, time.Since(qStart))
 				queries++
 			} else {
@@ -387,7 +517,7 @@ func drive(o Options, i int) (lat []time.Duration, events, queries, errs uint64,
 			}
 		}
 	}
-	if _, err := roundTrip("BYE"); err != nil {
+	if _, err := roundTrip(byeLine); err != nil {
 		return lat, events, queries, errs, err
 	}
 	return lat, events, queries, errs, nil

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"tlbmap/internal/vm"
@@ -23,8 +25,8 @@ import (
 //	                           the response is "OK seq=<n>", the source's
 //	                           last accepted batch number, so a
 //	                           reconnecting client resumes from n+1.
-//	E <thread>:<page> ...      ingest a batch of TLB samples (page parsed
-//	                           per strconv: decimal or 0x-hex)
+//	E <thread>:<page> ...      ingest a batch of TLB samples (page is
+//	                           decimal or 0x-hex)
 //	E <seq> <thread>:<page> ...
 //	                           sequenced form (required on a sourced
 //	                           session): seq is the client's batch number,
@@ -38,13 +40,28 @@ import (
 //	                           dropped=... total=... nnz=... conf=..."
 //	BYE                        close the connection ("OK bye")
 //
-// Limits: lines up to 64 KiB, at most MaxBatch events per E line.
+// Limits: lines up to maxLineBytes (sized from MaxBatch so every legal
+// request fits), at most MaxBatch events per E line.
 const (
-	maxLineBytes = 1 << 16
 	// MaxBatch bounds the events one E line may carry; larger batches are
 	// rejected so one client cannot stuff an unbounded allocation into a
 	// single request.
 	MaxBatch = 1024
+	// maxLineBytes bounds one request line. The widest legal request is a
+	// sequenced E line: "E ", a 20-digit batch seq, and MaxBatch events of
+	// at most " <thread>:<page>" — 33 bytes each for a 10-digit thread and
+	// 20-digit decimal page. Longer lines cannot be well-formed, so they
+	// are consumed through their newline and refused with a clean ERR
+	// instead of dropping the connection.
+	maxLineBytes = 32 + 33*MaxBatch
+)
+
+// readerPool and writerPool recycle per-connection buffered IO between
+// accepts, so a churning fleet stops paying a line-buffer and write-buffer
+// allocation per connection.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, maxLineBytes) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 4096) }}
 )
 
 // Serve accepts connections until the listener closes (which the daemon
@@ -64,58 +81,100 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // ServeConn speaks the wire protocol on one connection until EOF, BYE, or
-// a slow-consumer hangup. Responses flow through a bounded outbox drained
-// by a writer goroutine under Config.WriteTimeout per line: a client that
-// pipelines requests but never reads responses fills the outbox (cap
-// Config.OutboxCap) and is disconnected — per-connection memory stays
-// bounded no matter how the peer behaves.
+// a slow-consumer hangup. The reader goroutine writes each response
+// directly into a pooled write buffer and flushes only when no further
+// request is already buffered, so pipelined responses coalesce into one
+// write. Every flush runs under Config.WriteTimeout: a client that
+// pipelines requests but never reads responses blocks the first full
+// flush, trips the deadline, and is disconnected — per-connection memory
+// stays bounded no matter how the peer behaves.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
-	out := make(chan string, s.cfg.OutboxCap)
-	writerDone := make(chan struct{})
-	go func() {
-		defer close(writerDone)
-		w := bufio.NewWriter(conn)
-		for line := range out {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if _, err := w.WriteString(line); err != nil {
-				break
-			}
-			if err := w.WriteByte('\n'); err != nil {
-				break
-			}
-			// Flush only when the outbox is momentarily empty, so
-			// pipelined responses coalesce into one write.
-			if len(out) == 0 {
-				if err := w.Flush(); err != nil {
-					break
-				}
-			}
-		}
-		// Drop whatever is left and unblock the peer's read side.
-		conn.Close()
-		for range out {
-		}
+	rd := readerPool.Get().(*bufio.Reader)
+	rd.Reset(conn)
+	w := writerPool.Get().(*bufio.Writer)
+	w.Reset(conn)
+	defer func() {
+		w.Flush()
+		rd.Reset(nil)
+		w.Reset(nil)
+		readerPool.Put(rd)
+		writerPool.Put(w)
 	}()
 
 	sess := session{srv: s}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 4096), maxLineBytes)
-	for sc.Scan() {
-		resp, quit := sess.handle(sc.Text())
-		select {
-		case out <- resp:
-		default:
-			// Outbox full: the peer is not reading. Hang up rather than
-			// block the reader or buffer unboundedly.
-			quit = true
+	resp := make([]byte, 0, 256)
+	for {
+		line, err := rd.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// No legal request is this long (see maxLineBytes): consume
+			// through the newline and answer a clean ERR so the connection
+			// keeps working.
+			for err == bufio.ErrBufferFull {
+				_, err = rd.ReadSlice('\n')
+			}
+			if err != nil {
+				return
+			}
+			resp = append(resp[:0], "ERR line exceeds "...)
+			resp = strconv.AppendInt(resp, maxLineBytes, 10)
+			resp = append(resp, " bytes"...)
+			if !s.writeResp(conn, w, rd, resp) {
+				return
+			}
+			continue
 		}
-		if quit {
-			break
+		last := false
+		if err != nil {
+			if len(line) == 0 || err != io.EOF {
+				return
+			}
+			// Final request without a trailing newline: process it like
+			// bufio.Scanner would, then close.
+			last = true
+		}
+		var quit bool
+		resp, quit = sess.handle(trimEOL(line), resp[:0])
+		if !s.writeResp(conn, w, rd, resp) || quit || last {
+			return
 		}
 	}
-	close(out)
-	<-writerDone
+}
+
+// writeResp appends one response line to the connection's write buffer
+// under the write deadline, flushing when no further request is buffered.
+// It reports whether the connection is still usable.
+func (s *Server) writeResp(conn net.Conn, w *bufio.Writer, rd *bufio.Reader, resp []byte) bool {
+	// Arm the write deadline only when this response can actually touch
+	// the socket — the final response of a pipelined burst (flushed
+	// below) or one that overflows the write buffer. Mid-burst responses
+	// just land in the buffer, so they skip the timer update.
+	if rd.Buffered() == 0 || w.Available() < len(resp)+1 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if _, err := w.Write(resp); err != nil {
+		return false
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return false
+	}
+	if rd.Buffered() == 0 {
+		if err := w.Flush(); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// trimEOL strips the trailing "\n" or "\r\n" from one raw request line.
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
 }
 
 // session is the per-connection protocol state: the tenant and source the
@@ -127,123 +186,263 @@ type session struct {
 	batch  []Event
 }
 
-// handle executes one request line and returns the one-line response plus
-// whether the connection should close.
-func (sess *session) handle(line string) (resp string, quit bool) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "ERR empty request", false
-	}
-	switch fields[0] {
-	case "HELLO":
-		if len(fields) != 3 && len(fields) != 4 {
-			return "ERR usage: HELLO <tenant> <threads> [source]", false
-		}
-		threads, err := strconv.Atoi(fields[2])
-		if err != nil {
-			return fmt.Sprintf("ERR bad thread count %q", fields[2]), false
-		}
-		if err := sess.srv.CreateTenant(fields[1], threads); err != nil {
-			return "ERR " + err.Error(), false
-		}
-		sess.tenant = fields[1]
-		sess.source = ""
-		if len(fields) == 4 {
-			sess.source = fields[3]
-			seq, err := sess.srv.SourceSeq(sess.tenant, sess.source)
-			if err != nil {
-				return "ERR " + err.Error(), false
-			}
-			return "OK seq=" + strconv.FormatUint(seq, 10), false
-		}
-		return "OK", false
-
+// handle executes one request line, appends the one-line response to resp,
+// and reports whether the connection should close. The line aliases the
+// read buffer and the returned slice aliases resp's backing array; both
+// are consumed before the next read, so the steady-state ingest path
+// allocates nothing (asserted by TestIngestSteadyStateZeroAllocs).
+func (sess *session) handle(line, resp []byte) ([]byte, bool) {
+	cmd, rest := nextField(line)
+	switch string(cmd) { // compiled to comparisons; does not allocate
 	case "E":
-		if sess.tenant == "" {
-			return "ERR HELLO first", false
-		}
-		evs := fields[1:]
-		var seq uint64
-		if sess.source != "" {
-			if len(evs) == 0 || strings.Contains(evs[0], ":") {
-				return "ERR sourced session: usage: E <seq> <thread:page> ...", false
-			}
-			var err error
-			if seq, err = strconv.ParseUint(evs[0], 10, 64); err != nil {
-				return fmt.Sprintf("ERR bad batch seq %q", evs[0]), false
-			}
-			evs = evs[1:]
-		}
-		if len(evs) > MaxBatch {
-			return fmt.Sprintf("ERR batch of %d events exceeds cap %d", len(evs), MaxBatch), false
-		}
-		sess.batch = sess.batch[:0]
-		for _, f := range evs {
-			threadStr, pageStr, ok := strings.Cut(f, ":")
-			if !ok {
-				return fmt.Sprintf("ERR bad event %q (want thread:page)", f), false
-			}
-			thread, err := strconv.ParseInt(threadStr, 10, 32)
-			if err != nil {
-				return fmt.Sprintf("ERR bad thread in %q", f), false
-			}
-			page, err := strconv.ParseUint(pageStr, 0, 64)
-			if err != nil {
-				return fmt.Sprintf("ERR bad page in %q", f), false
-			}
-			sess.batch = append(sess.batch, Event{Thread: int32(thread), Page: vm.Page(page)})
-		}
-		err := sess.srv.IngestFrom(sess.tenant, sess.source, seq, sess.batch)
-		if errors.Is(err, ErrDuplicateBatch) {
-			// Idempotent retransmit: already applied, acknowledge without
-			// re-applying.
-			return "OK dup", false
-		}
-		if err != nil {
-			return "ERR " + err.Error(), false
-		}
-		return "OK " + strconv.Itoa(len(sess.batch)), false
+		return sess.handleEvents(rest, resp), false
+
+	case "HELLO":
+		return sess.handleHello(rest, resp), false
 
 	case "Q":
 		if sess.tenant == "" {
-			return "ERR HELLO first", false
+			return append(resp, "ERR HELLO first"...), false
 		}
 		res, err := sess.srv.Query(context.Background(), sess.tenant)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(resp, err), false
 		}
-		var b strings.Builder
-		b.WriteString("OK ")
+		resp = append(resp, "OK "...)
 		for i, c := range res.Placement {
 			if i > 0 {
-				b.WriteByte(',')
+				resp = append(resp, ',')
 			}
-			b.WriteString(strconv.Itoa(c))
+			resp = strconv.AppendInt(resp, int64(c), 10)
 		}
-		fmt.Fprintf(&b, " conf=%.3f remap=%t degraded=%t reason=%s",
-			res.Confidence, res.Remapped, res.Degraded,
-			strings.ReplaceAll(res.Reason, " ", "_"))
-		return b.String(), false
+		resp = append(resp, " conf="...)
+		resp = strconv.AppendFloat(resp, res.Confidence, 'f', 3, 64)
+		resp = append(resp, " remap="...)
+		resp = strconv.AppendBool(resp, res.Remapped)
+		resp = append(resp, " degraded="...)
+		resp = strconv.AppendBool(resp, res.Degraded)
+		resp = append(resp, " reason="...)
+		for i := 0; i < len(res.Reason); i++ {
+			if c := res.Reason[i]; c == ' ' {
+				resp = append(resp, '_')
+			} else {
+				resp = append(resp, c)
+			}
+		}
+		return resp, false
 
 	case "SNAP":
 		if sess.tenant == "" {
-			return "ERR HELLO first", false
+			return append(resp, "ERR HELLO first"...), false
 		}
 		snap, err := sess.srv.Snapshot(sess.tenant)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(resp, err), false
 		}
 		if snap.Quarantined {
-			return fmt.Sprintf("ERR tenant quarantined: %v", snap.PanicValue), false
+			return fmt.Appendf(resp, "ERR tenant quarantined: %v", snap.PanicValue), false
 		}
-		return fmt.Sprintf("OK events=%d applied=%d dropped=%d total=%d nnz=%d conf=%.3f",
+		return fmt.Appendf(resp, "OK events=%d applied=%d dropped=%d total=%d nnz=%d conf=%.3f",
 			snap.Ingested, snap.Applied, snap.Dropped,
 			snap.Matrix.Total(), snap.Matrix.NNZ(), snap.Confidence), false
 
 	case "BYE":
-		return "OK bye", true
+		return append(resp, "OK bye"...), true
+
+	case "":
+		return append(resp, "ERR empty request"...), false
 
 	default:
-		return fmt.Sprintf("ERR unknown command %q", fields[0]), false
+		return fmt.Appendf(resp, "ERR unknown command %q", cmd), false
 	}
+}
+
+// handleHello binds the session to a tenant (and optionally a source) per
+// the HELLO contract documented above.
+func (sess *session) handleHello(args, resp []byte) []byte {
+	tenantTok, rest := nextField(args)
+	threadsTok, rest := nextField(rest)
+	sourceTok, rest := nextField(rest)
+	if extra, _ := nextField(rest); len(tenantTok) == 0 || len(threadsTok) == 0 || len(extra) != 0 {
+		return append(resp, "ERR usage: HELLO <tenant> <threads> [source]"...)
+	}
+	threads, err := strconv.Atoi(string(threadsTok))
+	if err != nil {
+		return fmt.Appendf(resp, "ERR bad thread count %q", threadsTok)
+	}
+	tenant := string(tenantTok)
+	if err := sess.srv.CreateTenant(tenant, threads); err != nil {
+		return appendErr(resp, err)
+	}
+	sess.tenant = tenant
+	sess.source = ""
+	if len(sourceTok) > 0 {
+		sess.source = string(sourceTok)
+		seq, err := sess.srv.SourceSeq(sess.tenant, sess.source)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, "OK seq="...)
+		return strconv.AppendUint(resp, seq, 10)
+	}
+	return append(resp, "OK"...)
+}
+
+// handleEvents parses and ingests one E line. This is the hot path: every
+// token is sliced and parsed in place, the event batch reuses the
+// session's scratch slice, and the success response is appended without
+// formatting.
+func (sess *session) handleEvents(args, resp []byte) []byte {
+	if sess.tenant == "" {
+		return append(resp, "ERR HELLO first"...)
+	}
+	var seq uint64
+	if sess.source != "" {
+		tok, rest := nextField(args)
+		if len(tok) == 0 || bytes.IndexByte(tok, ':') >= 0 {
+			return append(resp, "ERR sourced session: usage: E <seq> <thread:page> ..."...)
+		}
+		v, ok := parseUint(tok)
+		if !ok {
+			return fmt.Appendf(resp, "ERR bad batch seq %q", tok)
+		}
+		seq, args = v, rest
+	}
+	batch := sess.batch[:0]
+	for {
+		tok, rest := nextField(args)
+		if len(tok) == 0 {
+			break
+		}
+		args = rest
+		if len(batch) == MaxBatch {
+			n := len(batch) + 1
+			for {
+				if tok, args = nextField(args); len(tok) == 0 {
+					break
+				}
+				n++
+			}
+			sess.batch = batch
+			return fmt.Appendf(resp, "ERR batch of %d events exceeds cap %d", n, MaxBatch)
+		}
+		colon := bytes.IndexByte(tok, ':')
+		if colon < 0 {
+			sess.batch = batch
+			return fmt.Appendf(resp, "ERR bad event %q (want thread:page)", tok)
+		}
+		thread, ok := parseInt32(tok[:colon])
+		if !ok {
+			sess.batch = batch
+			return fmt.Appendf(resp, "ERR bad thread in %q", tok)
+		}
+		page, ok := parsePage(tok[colon+1:])
+		if !ok {
+			sess.batch = batch
+			return fmt.Appendf(resp, "ERR bad page in %q", tok)
+		}
+		batch = append(batch, Event{Thread: thread, Page: vm.Page(page)})
+	}
+	sess.batch = batch
+	err := sess.srv.IngestFrom(sess.tenant, sess.source, seq, batch)
+	if err != nil {
+		if errors.Is(err, ErrDuplicateBatch) {
+			// Idempotent retransmit: already applied, acknowledge without
+			// re-applying.
+			return append(resp, "OK dup"...)
+		}
+		return appendErr(resp, err)
+	}
+	resp = append(resp, "OK "...)
+	return strconv.AppendInt(resp, int64(len(batch)), 10)
+}
+
+func appendErr(resp []byte, err error) []byte {
+	resp = append(resp, "ERR "...)
+	return append(resp, err.Error()...)
+}
+
+// nextField returns the first space/tab-delimited token of line and the
+// remainder. A zero-length token means the line is exhausted.
+func nextField(line []byte) (tok, rest []byte) {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	j := i
+	for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+		j++
+	}
+	return line[i:j], line[j:]
+}
+
+// parseUint parses a decimal uint64, rejecting empty input, junk, and
+// overflow — strconv.ParseUint(s, 10, 64) without the string conversion.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// parsePage parses a page number in the two spellings the protocol
+// documents: decimal or 0x/0X-prefixed hex.
+func parsePage(b []byte) (uint64, bool) {
+	if len(b) > 2 && b[0] == '0' && (b[1] == 'x' || b[1] == 'X') {
+		var v uint64
+		for _, c := range b[2:] {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, false
+			}
+			if v>>60 != 0 {
+				return 0, false
+			}
+			v = v<<4 | d
+		}
+		return v, true
+	}
+	return parseUint(b)
+}
+
+// parseInt32 parses a signed decimal int32. Range errors reject rather
+// than saturate, matching strconv.ParseInt(s, 10, 32).
+func parseInt32(b []byte) (int32, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseUint(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if v > 1<<31 {
+			return 0, false
+		}
+		return int32(-int64(v)), true
+	}
+	if v > 1<<31-1 {
+		return 0, false
+	}
+	return int32(v), true
 }

@@ -26,15 +26,16 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tlbmap/internal/fault"
 	"tlbmap/internal/mapping"
+	"tlbmap/internal/runner"
 	"tlbmap/internal/tlb"
 	"tlbmap/internal/vm"
 	"tlbmap/internal/wal"
@@ -122,10 +123,10 @@ type Config struct {
 	// inside every tenant's online mapper (tests install slow or exact
 	// mappers here).
 	Mapper mapping.Algorithm
-	// OutboxCap is the per-connection bounded response queue capacity
-	// (default 64): a client that stops reading its responses is hung up
-	// on once the outbox fills, so one blocked reader cannot grow server
-	// memory.
+	// OutboxCap is retained for configuration compatibility but no longer
+	// used: responses are written inline by the reader goroutine into a
+	// pooled write buffer, and a client that stops reading trips
+	// WriteTimeout on the first full flush instead of filling an outbox.
 	OutboxCap int
 	// WriteTimeout bounds one response write on a connection
 	// (default 5s).
@@ -147,6 +148,11 @@ type Config struct {
 	// (default 4096): after that many events a snapshot is written and
 	// the WAL compacted. Only meaningful with Dir set.
 	SnapshotEvery int
+	// RecoveryWorkers bounds the parallel tenant-recovery pool Open runs
+	// at startup (default: one worker per CPU). Recovery output is
+	// identical at any worker count; the knob exists for tests and for
+	// capping recovery I/O on shared disks.
+	RecoveryWorkers int
 }
 
 // withDefaults resolves the zero values.
@@ -214,6 +220,10 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup // live tenant appliers
 
+	// gc is the shared group-commit scheduler (nil unless the server is
+	// durable under wal.SyncAlways — see commit.go).
+	gc *committer
+
 	queries   atomic.Uint64
 	degraded  atomic.Uint64
 	overloads atomic.Uint64
@@ -227,6 +237,9 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		s.shards[i] = &shard{tenants: make(map[string]*tenant)}
+	}
+	if cfg.Dir != "" && cfg.Sync == wal.SyncAlways {
+		s.gc = newCommitter()
 	}
 	return s
 }
@@ -247,6 +260,8 @@ func Open(cfg Config) (*Server, error) {
 		}
 		return nil, fmt.Errorf("serve: open %s: %w", s.cfg.Dir, err)
 	}
+	type tenantDir struct{ name, id string }
+	var dirs []tenantDir
 	for _, ent := range entries {
 		if !ent.IsDir() {
 			continue
@@ -255,27 +270,46 @@ func Open(cfg Config) (*Server, error) {
 		if err != nil {
 			continue // not a tenant directory
 		}
-		id := string(raw)
-		meta, err := wal.ReadBlob(filepath.Join(s.cfg.Dir, "tenants", ent.Name(), "meta"))
+		dirs = append(dirs, tenantDir{name: ent.Name(), id: string(raw)})
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].name < dirs[j].name })
+	// Tenants recover independently (disjoint directories, disjoint shard
+	// entries), so replay them on a bounded worker pool: O(tenants)
+	// startup becomes O(tenants/cores). Results are identical at any
+	// worker count — within a tenant, replay order is WAL order regardless
+	// — and runner.Run reports the lowest-indexed error, matching what a
+	// serial loop over the sorted listing would have hit first.
+	err = runner.Run(runner.Pool{Workers: s.cfg.RecoveryWorkers}, len(dirs), func(i int) error {
+		name, id := dirs[i].name, dirs[i].id
+		meta, err := wal.ReadBlob(filepath.Join(s.cfg.Dir, "tenants", name, "meta"))
 		if err != nil {
-			return nil, fmt.Errorf("serve: recover tenant %q: %w", id, err)
+			return fmt.Errorf("serve: recover tenant %q: %w", id, err)
 		}
 		metaID, threads, err := decodeMeta(meta)
 		if err != nil || metaID != id {
-			return nil, fmt.Errorf("serve: recover tenant %q: bad meta (id %q, err %v)", id, metaID, err)
+			return fmt.Errorf("serve: recover tenant %q: bad meta (id %q, err %v)", id, metaID, err)
 		}
 		if err := s.CreateTenant(id, threads); err != nil {
-			return nil, fmt.Errorf("serve: recover tenant %q: %w", id, err)
+			return fmt.Errorf("serve: recover tenant %q: %w", id, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
-// shardFor stripes a tenant ID over the shard array by FNV-32a.
+// shardFor stripes a tenant ID over the shard array by FNV-32a. The hash
+// is inlined (same constants as hash/fnv.New32a) so the per-request
+// lookup neither heap-allocates a hasher nor copies the id to []byte.
 func (s *Server) shardFor(id string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // lookup returns the live tenant or ErrTenantNotFound.
@@ -391,11 +425,15 @@ func (s *Server) IngestFrom(tenantID, source string, seq uint64, events []Event)
 				ErrBadEvent, e.Thread, tenantID, t.threads-1)
 		}
 	}
-	b := batch{events: append([]Event(nil), events...), source: source, srcSeq: seq}
+	b := batch{events: copyEvents(events), source: source, srcSeq: seq}
 	if t.wlog == nil && source == "" {
 		// In-memory anonymous path: no ordering obligations beyond the
 		// queue itself, so skip the ingest lock entirely.
-		return s.enqueue(t, b)
+		if err := s.enqueue(t, b); err != nil {
+			recycleEvents(b.events)
+			return err
+		}
+		return nil
 	}
 
 	// Durable/sourced path. ingestMu makes dedup-check → enqueue → WAL
@@ -405,26 +443,49 @@ func (s *Server) IngestFrom(tenantID, source string, seq uint64, events []Event)
 	// overload must leave no trace in the log (recovery must not replay
 	// what the client was told to resend), and the window where a batch
 	// is applied before its record lands is closed by the snapshot codec
-	// serializing the applied-side dedup map.
+	// serializing the applied-side dedup map. The record bytes are
+	// encoded BEFORE the enqueue, though: once queued, the applier may
+	// finish with (and recycle) the event slab at any moment.
 	t.ingestMu.Lock()
-	defer t.ingestMu.Unlock()
 	if source != "" {
 		last := t.sources[source]
 		if seq <= last {
+			waitSeq := t.lastAppend
+			t.ingestMu.Unlock()
+			recycleEvents(b.events)
+			// An idempotent retransmit ack is still an ack: under group
+			// commit it must not outrun the fsync covering the batch it
+			// acknowledges.
+			if t.groupCommit {
+				if derr := t.waitDurable(waitSeq); derr != nil {
+					t.quarantineErr(derr)
+					return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, derr)
+				}
+			}
 			return fmt.Errorf("%w: %q seq %d already accepted (at %d)", ErrDuplicateBatch, source, seq, last)
 		}
 		if seq != last+1 {
+			t.ingestMu.Unlock()
+			recycleEvents(b.events)
 			return fmt.Errorf("%w: %q seq %d after %d", ErrSequenceGap, source, seq, last)
 		}
 	}
 	if t.wlog != nil {
 		b.seq = t.wlog.NextSeq()
+		t.walBuf = appendWALRecord(t.walBuf[:0], source, seq, b.events)
 	}
 	if err := s.enqueue(t, b); err != nil {
+		t.ingestMu.Unlock()
 		return err
 	}
 	if t.wlog != nil {
-		got, werr := t.wlog.Append(appendWALRecord(nil, source, seq, b.events))
+		var got uint64
+		var werr error
+		if t.groupCommit {
+			got, werr = t.wlog.AppendBuffered(t.walBuf)
+		} else {
+			got, werr = t.wlog.Append(t.walBuf)
+		}
 		if werr != nil || got != b.seq {
 			if werr == nil {
 				werr = fmt.Errorf("serve: wal seq skew: appended %d, reserved %d", got, b.seq)
@@ -433,13 +494,56 @@ func (s *Server) IngestFrom(tenantID, source string, seq uint64, events []Event)
 			// continuing would acknowledge writes a restart forgets.
 			// Fail stop for this tenant.
 			t.quarantineErr(werr)
+			t.ingestMu.Unlock()
 			return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, werr)
 		}
+		t.lastAppend = got
 	}
 	if source != "" {
 		t.sources[source] = seq
 	}
+	t.ingestMu.Unlock()
+	if t.groupCommit && b.seq != 0 {
+		// Release the ingest lock before blocking on durability: the whole
+		// point of group commit is that concurrent appends pile up while
+		// this fsync is in flight and ride the next one.
+		s.gc.schedule(t)
+		if derr := t.waitDurable(b.seq); derr != nil {
+			t.quarantineErr(derr)
+			return fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, derr)
+		}
+	}
 	return nil
+}
+
+// eventSlabs recycles batch buffers between the ingest path (which must
+// copy the caller's slice) and the appliers (which are done with a batch
+// once it is folded in). A buffered channel rather than a sync.Pool:
+// Get/Put move only a slice header and never box it into an interface, so
+// the steady-state ingest path stays allocation-free.
+var eventSlabs = make(chan []Event, 4096)
+
+// copyEvents copies the caller's batch into a recycled slab (or a fresh
+// one when the pool is momentarily empty).
+func copyEvents(events []Event) []Event {
+	var s []Event
+	select {
+	case s = <-eventSlabs:
+	default:
+	}
+	return append(s[:0], events...)
+}
+
+// recycleEvents returns a batch slab to the pool. Callers must be done
+// reading it: the next copyEvents overwrites the backing array.
+func recycleEvents(s []Event) {
+	if cap(s) == 0 {
+		return
+	}
+	select {
+	case eventSlabs <- s[:0]:
+	default:
+	}
 }
 
 // enqueue is the bounded-queue admission step shared by both ingest
@@ -477,8 +581,20 @@ func (s *Server) SourceSeq(tenantID, source string) (uint64, error) {
 		return 0, err
 	}
 	t.ingestMu.Lock()
-	defer t.ingestMu.Unlock()
-	return t.sources[source], nil
+	seq := t.sources[source]
+	waitSeq := t.lastAppend
+	t.ingestMu.Unlock()
+	if t.groupCommit {
+		// The HELLO resume point implicitly acknowledges every batch at or
+		// below it: do not let it outrun the fsync covering the newest
+		// accepted batch, or a reconnecting client would skip past a batch
+		// a crash can still lose.
+		if err := t.waitDurable(waitSeq); err != nil {
+			t.quarantineErr(err)
+			return 0, fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, tenantID, err)
+		}
+	}
+	return seq, nil
 }
 
 // Checkpoint forces a durability snapshot of one tenant right now,
@@ -578,6 +694,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if s.gc != nil {
+		// Retire the group-commit scheduler after the appliers: any
+		// still-blocked ingest waiter is released by the queue drain, and
+		// later schedule calls sync inline.
+		s.gc.stop()
 	}
 	var errs []error
 	for _, sh := range s.shards {

@@ -66,6 +66,21 @@ type tenant struct {
 	sources   map[string]uint64
 	snapMu    sync.Mutex    // serializes checkpoint encode+write+compact
 	sinceSnap atomic.Uint64 // events applied since the last snapshot
+	walBuf    []byte        // WAL record encode scratch (under ingestMu)
+	snapBuf   []byte        // snapshot encode scratch (under snapMu)
+
+	// Group commit (Config.Dir with wal.SyncAlways — see commit.go).
+	// lastAppend is the WAL seq of the newest accepted batch (under
+	// ingestMu); ackedDurable the newest seq covered by a completed fsync
+	// and commitErr the sticky fsync failure (both under commitMu);
+	// commitQueued is guarded by the committer's own mutex.
+	groupCommit  bool
+	lastAppend   uint64
+	commitMu     sync.Mutex
+	commitCond   *sync.Cond
+	ackedDurable uint64
+	commitErr    error
+	commitQueued bool
 
 	mu       sync.Mutex // guards everything below
 	tlbs     []*tlb.TLB
@@ -156,6 +171,7 @@ func newTenant(id string, threads int, cfg Config) (*tenant, error) {
 		appliedSources: make(map[string]uint64),
 		snapEvery:      uint64(cfg.SnapshotEvery),
 	}
+	t.commitCond = sync.NewCond(&t.commitMu)
 	for i := range t.tlbs {
 		t.tlbs[i] = tlb.New(cfg.TLB)
 		t.presence.Attach(t.tlbs[i])
@@ -220,6 +236,7 @@ func (t *tenant) run() {
 		select {
 		case b := <-t.queue:
 			t.applyBatch(b)
+			recycleEvents(b.events)
 			t.maybeCheckpoint()
 		case <-t.stop:
 			for {
@@ -230,6 +247,7 @@ func (t *tenant) run() {
 					} else {
 						t.dropped.Add(uint64(len(b.events)))
 					}
+					recycleEvents(b.events)
 				default:
 					return
 				}

@@ -35,11 +35,16 @@ type PresenceIndex struct {
 	owners []*TLB
 
 	// Dense storage: pages[i] has holder mask masks[i*words:(i+1)*words].
-	// pos maps a page to its dense position. Removal swap-deletes, so
-	// iteration order is an implementation detail — every consumer of
-	// Walk/Holders accumulates commutatively (matrix sums), which keeps
-	// results byte-identical to the pairwise scan regardless of order.
-	pos   map[vm.Page]int32
+	// pos[p] is 1 + page p's dense position, 0 while untracked. Like
+	// TLB.idx it is a flat slice grown lazily to the largest page seen —
+	// the vm bump allocator hands pages out densely from 1, so the slice
+	// stays proportional to the working set and the per-event lookups on
+	// the ingest path (HoldersEach, add, remove) skip the map hashing
+	// that used to dominate them. Removal swap-deletes, so iteration
+	// order is an implementation detail — every consumer of Walk/Holders
+	// accumulates commutatively (matrix sums), which keeps results
+	// byte-identical to the pairwise scan regardless of order.
+	pos   []int32
 	pages []vm.Page
 	masks []uint64
 }
@@ -53,7 +58,6 @@ func NewPresenceIndex(cores int) *PresenceIndex {
 	return &PresenceIndex{
 		cores: cores,
 		words: (cores + 63) / 64,
-		pos:   make(map[vm.Page]int32),
 	}
 }
 
@@ -105,12 +109,21 @@ func (ix *PresenceIndex) Attach(t *TLB) int {
 // The returned slice aliases index storage: it is only valid until the
 // next mutation and must not be written.
 func (ix *PresenceIndex) Holders(p vm.Page) []uint64 {
-	i, ok := ix.pos[p]
+	i, ok := ix.at(p)
 	if !ok {
 		return nil
 	}
 	base := int(i) * ix.words
 	return ix.masks[base : base+ix.words]
+}
+
+// at resolves a page to its dense position.
+func (ix *PresenceIndex) at(p vm.Page) (int32, bool) {
+	if uint64(p) >= uint64(len(ix.pos)) {
+		return 0, false
+	}
+	i := ix.pos[p]
+	return i - 1, i != 0
 }
 
 // HoldersEach calls fn with the slot of every attached TLB currently
@@ -119,7 +132,7 @@ func (ix *PresenceIndex) Holders(p vm.Page) []uint64 {
 // fn may mutate the index (insert, invalidate) once it returns — the bits
 // are decoded into a local copy first.
 func (ix *PresenceIndex) HoldersEach(p vm.Page, fn func(slot int)) {
-	i, ok := ix.pos[p]
+	i, ok := ix.at(p)
 	if !ok {
 		return
 	}
@@ -205,13 +218,19 @@ func (ix *PresenceIndex) Validate() error {
 	if len(want) != len(ix.pages) {
 		return fmt.Errorf("tlb: presence index tracks %d pages, TLBs hold %d", len(ix.pages), len(want))
 	}
-	if len(ix.pages) != len(ix.pos) {
-		return fmt.Errorf("tlb: presence index dense storage has %d pages but position map has %d",
-			len(ix.pages), len(ix.pos))
+	tracked := 0
+	for _, i := range ix.pos {
+		if i != 0 {
+			tracked++
+		}
+	}
+	if len(ix.pages) != tracked {
+		return fmt.Errorf("tlb: presence index dense storage has %d pages but position index has %d",
+			len(ix.pages), tracked)
 	}
 	for i, p := range ix.pages {
-		if at, ok := ix.pos[p]; !ok || int(at) != i {
-			return fmt.Errorf("tlb: presence index position map disagrees with dense storage for page %#x", uint64(p))
+		if at, ok := ix.at(p); !ok || int(at) != i {
+			return fmt.Errorf("tlb: presence index position index disagrees with dense storage for page %#x", uint64(p))
 		}
 		m := want[p]
 		if m == nil {
@@ -227,12 +246,15 @@ func (ix *PresenceIndex) Validate() error {
 }
 
 // add sets the slot's bit for a page, creating the page's mask on first
-// residency. O(1): one map access plus one bit set.
+// residency. O(1): one position lookup plus one bit set.
 func (ix *PresenceIndex) add(slot int32, p vm.Page) {
-	i, ok := ix.pos[p]
-	if !ok {
+	for uint64(len(ix.pos)) <= uint64(p) {
+		ix.pos = append(ix.pos, 0)
+	}
+	i := ix.pos[p] - 1
+	if i < 0 {
 		i = int32(len(ix.pages))
-		ix.pos[p] = i
+		ix.pos[p] = i + 1
 		ix.pages = append(ix.pages, p)
 		for w := 0; w < ix.words; w++ {
 			ix.masks = append(ix.masks, 0)
@@ -244,7 +266,7 @@ func (ix *PresenceIndex) add(slot int32, p vm.Page) {
 // remove clears the slot's bit for a page and swap-deletes the page once
 // no attached TLB holds it. O(1) apart from the words-long zero test.
 func (ix *PresenceIndex) remove(slot int32, p vm.Page) {
-	i, ok := ix.pos[p]
+	i, ok := ix.at(p)
 	if !ok {
 		return
 	}
@@ -259,8 +281,8 @@ func (ix *PresenceIndex) remove(slot int32, p vm.Page) {
 	lp := ix.pages[last]
 	ix.pages[i] = lp
 	copy(ix.masks[base:base+ix.words], ix.masks[last*ix.words:(last+1)*ix.words])
-	ix.pos[lp] = i
+	ix.pos[lp] = i + 1
 	ix.pages = ix.pages[:last]
 	ix.masks = ix.masks[:last*ix.words]
-	delete(ix.pos, p)
+	ix.pos[p] = 0
 }

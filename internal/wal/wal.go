@@ -361,6 +361,19 @@ func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
 // return time depends on the sync policy: SyncAlways has flushed and
 // fsynced, the others may still hold the record in the userspace buffer.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	return l.append(payload, l.opts.Policy == SyncAlways)
+}
+
+// AppendBuffered adds one record like Append but never applies the sync
+// policy: the bytes reach the userspace buffer (and the OS only on
+// rotation), and making them durable is the caller's job via Sync. Group
+// committers use it to batch many appends under a single fsync while
+// still releasing acks only after that fsync covers them.
+func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
+	return l.append(payload, false)
+}
+
+func (l *Log) append(payload []byte, syncNow bool) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -391,7 +404,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.actInfo.nrecords++
 	l.actInfo.size += int64(recordHeader + len(payload))
 
-	if l.opts.Policy == SyncAlways {
+	if syncNow {
 		if err := l.flushLocked(true); err != nil {
 			return 0, err
 		}
@@ -472,7 +485,9 @@ func (l *Log) flushLocked(sync bool) error {
 		if err := l.active.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
-		l.synced = l.actInfo.last
+		if l.actInfo.last > l.synced {
+			l.synced = l.actInfo.last
+		}
 	}
 	return nil
 }
